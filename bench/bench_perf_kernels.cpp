@@ -1,0 +1,84 @@
+// Performance microbenchmarks (google-benchmark): throughput of the hot
+// kernels — FFT, Viterbi, frame build/decode, and one full end-to-end frame
+// exchange. Not a paper figure; used to keep the simulator fast enough for
+// the R3-R8 sweeps.
+#include <benchmark/benchmark.h>
+
+#include "mmtag/core/link_simulator.hpp"
+#include "mmtag/dsp/fft.hpp"
+#include "mmtag/fec/convolutional.hpp"
+#include "mmtag/phy/bitio.hpp"
+#include "mmtag/phy/frame.hpp"
+
+#include "bench_util.hpp"
+
+using namespace mmtag;
+
+namespace {
+
+void bm_fft(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const dsp::fft_plan plan(n);
+    cvec data(n, cf64{1.0, -0.5});
+    for (auto _ : state) {
+        plan.forward(data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(bm_fft)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void bm_viterbi(benchmark::State& state)
+{
+    const auto bits = phy::random_bits(static_cast<std::size_t>(state.range(0)), 5);
+    const auto coded = fec::convolutional_encode(bits, fec::code_rate::half);
+    for (auto _ : state) {
+        auto decoded = fec::viterbi_decode(coded, fec::code_rate::half);
+        benchmark::DoNotOptimize(decoded.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(bm_viterbi)->Arg(512)->Arg(4096);
+
+void bm_frame_build(benchmark::State& state)
+{
+    const auto payload = phy::random_bytes(256, 7);
+    const phy::frame_config cfg{};
+    for (auto _ : state) {
+        auto symbols = phy::build_frame(payload, cfg);
+        benchmark::DoNotOptimize(symbols.data());
+    }
+}
+BENCHMARK(bm_frame_build);
+
+void bm_frame_decode(benchmark::State& state)
+{
+    const auto payload = phy::random_bytes(256, 9);
+    const phy::frame_config cfg{};
+    const cvec symbols = phy::build_frame(payload, cfg);
+    const std::span<const cf64> frame_span{symbols.data() + cfg.preamble.total_symbols(),
+                                           symbols.size() - cfg.preamble.total_symbols()};
+    for (auto _ : state) {
+        auto result = phy::decode_frame(frame_span, cfg, 0.05);
+        benchmark::DoNotOptimize(&result);
+    }
+}
+BENCHMARK(bm_frame_decode);
+
+void bm_full_link_frame(benchmark::State& state)
+{
+    core::link_simulator sim(bench::bench_scenario());
+    const auto payload = phy::random_bytes(32, 11);
+    for (auto _ : state) {
+        auto result = sim.run_frame(payload);
+        benchmark::DoNotOptimize(&result);
+    }
+}
+BENCHMARK(bm_full_link_frame)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// R4 — BER vs distance per data rate.
+// Three operating points spanning the paper's rate range: 2.5 Mb/s robust
+// (QPSK R=1/2 at 2.5 Msym/s), 10 Mb/s (QPSK uncoded), and 20 Mb/s (16-PSK
+// uncoded at the same symbol rate). Expected shape: higher rates hit the BER
+// wall at shorter distances; the robust rate survives to paper-class ranges.
+#include "bench_util.hpp"
+#include "mmtag/core/link_simulator.hpp"
+#include "mmtag/core/metrics.hpp"
+
+using namespace mmtag;
+
+namespace {
+
+struct rate_point {
+    const char* label;
+    phy::modulation scheme;
+    phy::fec_mode fec;
+};
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const bool csv = bench::csv_mode(argc, argv);
+    bench::banner("R4", "BER vs distance for three uplink data rates", csv);
+
+    const rate_point rates[] = {
+        {"2.5Mbps QPSK-1/2", phy::modulation::qpsk, phy::fec_mode::conv_half},
+        {"10Mbps QPSK", phy::modulation::qpsk, phy::fec_mode::uncoded},
+        {"20Mbps 16PSK", phy::modulation::psk16, phy::fec_mode::uncoded},
+    };
+
+    bench::table out({"distance_m", "rate", "snr_dB", "ber", "per"}, csv);
+    for (double distance : {1.0, 2.0, 4.0, 6.0, 8.0, 10.0}) {
+        for (const auto& rate : rates) {
+            auto cfg = bench::bench_scenario();
+            cfg.distance_m = distance;
+            cfg.modulator.frame.scheme = rate.scheme;
+            cfg.modulator.frame.fec = rate.fec;
+            cfg.receiver.frame = cfg.modulator.frame;
+            core::link_simulator sim(cfg);
+            const auto report = sim.run_trials(10, 48);
+            out.add_row({bench::fmt("%.0f", distance), rate.label,
+                         bench::fmt("%.1f", report.mean_snr_db),
+                         core::format_ber(report.ber, 10 * 48 * 8),
+                         bench::fmt("%.2f", report.per)});
+        }
+    }
+    out.print();
+    return 0;
+}

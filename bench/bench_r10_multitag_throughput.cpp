@@ -1,0 +1,39 @@
+// R10 — Network throughput vs population.
+// Tags scattered over range and orientation share the channel via TDMA after
+// inventory. Expected shape: aggregate goodput stays near the single-link
+// ceiling (slotting overhead only) while per-tag goodput divides by N;
+// far/rotated tags run lower rates and drag the aggregate slightly.
+#include "bench_util.hpp"
+#include "mmtag/core/network.hpp"
+
+using namespace mmtag;
+
+int main(int argc, char** argv)
+{
+    const bool csv = bench::csv_mode(argc, argv);
+    bench::banner("R10", "TDMA network goodput vs number of tags", csv);
+
+    bench::table out({"tags", "inventory_slots", "cycle_ms", "per_tag_Mbps",
+                      "aggregate_Mbps", "min_snr_dB", "max_snr_dB"},
+                     csv);
+    for (std::size_t count : {1u, 2u, 4u, 8u, 12u, 16u, 20u}) {
+        std::vector<core::tag_descriptor> tags;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            // Spread tags from 1.5 m to 6 m and -25 to +25 degrees.
+            const double frac = count == 1 ? 0.0
+                                           : static_cast<double>(i) /
+                                                 static_cast<double>(count - 1);
+            tags.push_back({i, 1.5 + 4.5 * frac, deg_to_rad(-25.0 + 50.0 * frac)});
+        }
+        const core::network net(bench::bench_scenario(), tags);
+        const auto report = net.run(4242);
+        out.add_row({std::to_string(count), std::to_string(report.inventory.slots_used),
+                     bench::fmt("%.3f", report.tdma.cycle_time_s * 1e3),
+                     bench::fmt("%.3f", report.tdma.per_tag_goodput_bps / 1e6),
+                     bench::fmt("%.2f", report.aggregate_goodput_bps / 1e6),
+                     bench::fmt("%.1f", report.min_snr_db),
+                     bench::fmt("%.1f", report.max_snr_db)});
+    }
+    out.print();
+    return 0;
+}

@@ -1,0 +1,103 @@
+// Shared plumbing for the experiment harnesses: aligned-table/CSV printing
+// and the standard bench scenario (a faster-sampling variant of the default
+// system so sweeps finish in seconds).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mmtag/core/config.hpp"
+
+namespace mmtag::bench {
+
+/// True when the binary was invoked with --csv.
+inline bool csv_mode(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--csv") return true;
+    }
+    return false;
+}
+
+/// Simple column-aligned table with an optional CSV mode.
+class table {
+public:
+    table(std::vector<std::string> headers, bool csv)
+        : headers_(std::move(headers)), csv_(csv)
+    {
+    }
+
+    void add_row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+    void print() const
+    {
+        if (csv_) {
+            print_delimited(",");
+            return;
+        }
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+        for (const auto& row : rows_) {
+            for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+                widths[c] = std::max(widths[c], row[c].size());
+            }
+        }
+        print_row(headers_, widths);
+        std::string rule;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            rule += std::string(widths[c], '-');
+            if (c + 1 < widths.size()) rule += "--";
+        }
+        std::printf("%s\n", rule.c_str());
+        for (const auto& row : rows_) print_row(row, widths);
+    }
+
+private:
+    void print_delimited(const char* sep) const
+    {
+        auto emit = [&](const std::vector<std::string>& row) {
+            for (std::size_t c = 0; c < row.size(); ++c) {
+                std::printf("%s%s", row[c].c_str(), c + 1 < row.size() ? sep : "");
+            }
+            std::printf("\n");
+        };
+        emit(headers_);
+        for (const auto& row : rows_) emit(row);
+    }
+
+    void print_row(const std::vector<std::string>& row,
+                   const std::vector<std::size_t>& widths) const
+    {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::printf("%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                        c + 1 < row.size() ? "  " : "");
+        }
+        std::printf("\n");
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    bool csv_;
+};
+
+inline std::string fmt(const char* format, double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, format, value);
+    return buffer;
+}
+
+/// The bench scenario: the library's fast (50 MS/s) preset.
+inline core::system_config bench_scenario()
+{
+    return core::fast_scenario();
+}
+
+inline void banner(const char* id, const char* title, bool csv)
+{
+    if (csv) return;
+    std::printf("\n=== %s: %s ===\n\n", id, title);
+}
+
+} // namespace mmtag::bench

@@ -1,0 +1,63 @@
+#include "mmtag/antenna/array.hpp"
+
+#include <stdexcept>
+
+namespace mmtag::antenna {
+
+uniform_linear_array::uniform_linear_array(std::size_t element_count, double spacing_wavelengths,
+                                           std::shared_ptr<const element> radiator)
+    : element_count_(element_count), spacing_(spacing_wavelengths), radiator_(std::move(radiator))
+{
+    if (element_count == 0) throw std::invalid_argument("ula: element count must be >= 1");
+    if (spacing_wavelengths <= 0.0) throw std::invalid_argument("ula: spacing must be > 0");
+    if (!radiator_) throw std::invalid_argument("ula: null element");
+}
+
+cf64 uniform_linear_array::array_factor(double theta_rad) const
+{
+    // Phase per element: k d (sin theta - sin theta_steer), normalized by 1/N
+    // so |AF| <= 1 with equality on the steered main lobe.
+    const double psi = two_pi * spacing_ * (std::sin(theta_rad) - std::sin(steering_angle_));
+    cf64 acc{};
+    for (std::size_t n = 0; n < element_count_; ++n) {
+        acc += std::polar(1.0, psi * static_cast<double>(n));
+    }
+    return acc / static_cast<double>(element_count_);
+}
+
+double uniform_linear_array::gain(double theta_rad) const
+{
+    const double af = std::norm(array_factor(theta_rad));
+    return af * static_cast<double>(element_count_) * radiator_->gain(theta_rad);
+}
+
+void uniform_linear_array::steer(double theta_rad)
+{
+    if (std::abs(theta_rad) >= pi / 2.0) {
+        throw std::invalid_argument("ula: steering angle must be within (-90, 90) degrees");
+    }
+    steering_angle_ = theta_rad;
+}
+
+double uniform_linear_array::half_power_beamwidth() const
+{
+    // Classic broadside approximation: 0.886 lambda / (N d), widened by scan.
+    const double broadside = 0.886 / (static_cast<double>(element_count_) * spacing_);
+    const double scan_widening = std::cos(steering_angle_);
+    if (scan_widening <= 1e-6) return pi;
+    return std::min(pi, broadside / scan_widening);
+}
+
+rvec uniform_linear_array::pattern(std::size_t points) const
+{
+    if (points < 2) throw std::invalid_argument("ula: pattern needs >= 2 points");
+    rvec out(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double theta =
+            -pi / 2.0 + pi * static_cast<double>(i) / static_cast<double>(points - 1);
+        out[i] = gain(theta);
+    }
+    return out;
+}
+
+} // namespace mmtag::antenna

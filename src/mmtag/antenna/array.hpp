@@ -1,0 +1,50 @@
+// Uniform linear array: array factor, steering, and directivity estimates.
+// Used for the AP's electronically steered antenna and as the building block
+// the Van Atta model is validated against.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "mmtag/common.hpp"
+#include "mmtag/antenna/element.hpp"
+
+namespace mmtag::antenna {
+
+class uniform_linear_array {
+public:
+    /// `spacing_wavelengths` is the inter-element pitch in wavelengths
+    /// (0.5 is the standard grating-lobe-free choice).
+    uniform_linear_array(std::size_t element_count, double spacing_wavelengths,
+                         std::shared_ptr<const element> radiator);
+
+    [[nodiscard]] std::size_t element_count() const { return element_count_; }
+    [[nodiscard]] double spacing_wavelengths() const { return spacing_; }
+
+    /// Complex array factor toward `theta_rad` with the current steering.
+    [[nodiscard]] cf64 array_factor(double theta_rad) const;
+
+    /// Power gain (|AF|^2 * element gain), normalized so that boresight of an
+    /// unsteered array gives N * element peak gain (coherent aperture gain).
+    [[nodiscard]] double gain(double theta_rad) const;
+
+    /// Points the main lobe at `theta_rad` via progressive phase weights.
+    void steer(double theta_rad);
+
+    [[nodiscard]] double steering_angle() const { return steering_angle_; }
+
+    /// Approximate half-power beamwidth of the main lobe [rad].
+    [[nodiscard]] double half_power_beamwidth() const;
+
+    /// Gain pattern sampled over [-pi/2, pi/2] with `points` samples.
+    [[nodiscard]] rvec pattern(std::size_t points) const;
+
+private:
+    std::size_t element_count_;
+    double spacing_;
+    std::shared_ptr<const element> radiator_;
+    double steering_angle_ = 0.0;
+};
+
+} // namespace mmtag::antenna

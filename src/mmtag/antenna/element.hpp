@@ -1,0 +1,63 @@
+// Antenna element radiation patterns. All gains are linear power gains; all
+// angles are azimuth radians measured from broadside (the array normal).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag::antenna {
+
+/// Abstract radiating element.
+class element {
+public:
+    virtual ~element() = default;
+
+    /// Power gain toward `theta_rad` off broadside.
+    [[nodiscard]] virtual double gain(double theta_rad) const = 0;
+
+    /// Peak (boresight) power gain.
+    [[nodiscard]] virtual double peak_gain() const = 0;
+};
+
+/// Ideal isotropic radiator (0 dBi).
+class isotropic_element final : public element {
+public:
+    [[nodiscard]] double gain(double) const override { return 1.0; }
+    [[nodiscard]] double peak_gain() const override { return 1.0; }
+};
+
+/// Microstrip patch approximated by the cos^q model. q ~= 1.3 and peak
+/// 6.5 dBi match a typical mmWave patch on thin substrate.
+class patch_element final : public element {
+public:
+    explicit patch_element(double peak_gain_dbi = 6.5, double exponent = 1.3);
+
+    [[nodiscard]] double gain(double theta_rad) const override;
+    [[nodiscard]] double peak_gain() const override { return peak_linear_; }
+
+    /// Half-power beamwidth implied by the cos^q model [rad].
+    [[nodiscard]] double half_power_beamwidth() const;
+
+private:
+    double peak_linear_;
+    double exponent_;
+};
+
+/// Pyramidal horn approximated by a Gaussian main lobe of the given gain;
+/// beamwidth follows from the gain via G ~= 4 pi / (theta_az * theta_el).
+class horn_element final : public element {
+public:
+    explicit horn_element(double gain_dbi = 20.0);
+
+    [[nodiscard]] double gain(double theta_rad) const override;
+    [[nodiscard]] double peak_gain() const override { return peak_linear_; }
+    [[nodiscard]] double half_power_beamwidth() const { return beamwidth_rad_; }
+
+private:
+    double peak_linear_;
+    double beamwidth_rad_;
+};
+
+} // namespace mmtag::antenna

@@ -1,0 +1,203 @@
+#include "mmtag/cli/commands.hpp"
+
+#include <cstdio>
+#include <random>
+#include <stdexcept>
+
+#include "mmtag/ap/rate_adaptation.hpp"
+#include "mmtag/core/link_budget.hpp"
+#include "mmtag/core/link_simulator.hpp"
+#include "mmtag/core/metrics.hpp"
+#include "mmtag/core/network.hpp"
+#include "mmtag/mac/slotted_aloha.hpp"
+
+namespace mmtag::cli {
+
+namespace {
+
+/// Bench-grade scenario (10 samples/symbol) so CLI runs finish in seconds.
+core::system_config cli_scenario()
+{
+    return core::fast_scenario();
+}
+
+void reject_leftovers(const option_set& options)
+{
+    const auto leftover = options.unconsumed();
+    if (!leftover.empty()) {
+        throw std::invalid_argument("unknown option --" + leftover.front());
+    }
+}
+
+} // namespace
+
+int run_link(const option_set& options)
+{
+    const std::string preset = options.get_string("preset", "default");
+    core::system_config cfg;
+    if (preset == "default") cfg = cli_scenario();
+    else if (preset == "warehouse") cfg = core::warehouse_scenario();
+    else if (preset == "wearable") cfg = core::wearable_scenario();
+    else throw std::invalid_argument("--preset must be default, warehouse, or wearable");
+    cfg.distance_m = options.get_double("distance", cfg.distance_m);
+    cfg.tag_incidence_rad = deg_to_rad(options.get_double("angle", 0.0));
+    if (options.has("scheme")) {
+        cfg.modulator.frame.scheme = parse_modulation(options.get_string("scheme", ""));
+    }
+    if (options.has("fec")) {
+        cfg.modulator.frame.fec = parse_fec(options.get_string("fec", ""));
+    }
+    cfg.receiver.frame = cfg.modulator.frame;
+    cfg.seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+    cfg.rician_k_db = options.get_double("k-factor", 100.0);
+    const std::string reflector = options.get_string("reflector", "van-atta");
+    if (reflector == "plate") cfg.reflector = core::reflector_kind::flat_plate;
+    else if (reflector != "van-atta") {
+        throw std::invalid_argument("--reflector must be van-atta or plate");
+    }
+    const auto frames = static_cast<std::size_t>(options.get_int("frames", 10));
+    const auto payload = static_cast<std::size_t>(options.get_int("payload", 32));
+    reject_leftovers(options);
+
+    core::link_simulator sim(cfg);
+    const auto report = sim.run_trials(frames, payload);
+    std::printf("link: %.1f m, %.0f deg, %s/%s, %zu frames x %zu B\n", cfg.distance_m,
+                rad_to_deg(cfg.tag_incidence_rad),
+                phy::modulation_name(cfg.modulator.frame.scheme).c_str(),
+                phy::fec_mode_name(cfg.modulator.frame.fec), frames, payload);
+    std::printf("  snr      %.1f dB\n", report.mean_snr_db);
+    std::printf("  evm      %.1f dB\n", report.mean_evm_db);
+    std::printf("  ber      %s\n",
+                core::format_ber(report.ber, frames * payload * 8).c_str());
+    std::printf("  per      %.3f\n", report.per);
+    std::printf("  goodput  %.3f Mb/s\n", report.goodput_bps / 1e6);
+    std::printf("  energy   %.2f nJ/bit\n", report.tag_energy_per_bit_j * 1e9);
+    return report.per < 1.0 ? 0 : 2;
+}
+
+int run_budget(const option_set& options)
+{
+    auto cfg = cli_scenario();
+    cfg.transmitter.tx_power_dbm = options.get_double("tx-power", 27.0);
+    const auto elements = static_cast<std::size_t>(options.get_int("elements", 8));
+    cfg.van_atta.element_count = elements;
+    const double start = options.get_double("start", 0.5);
+    const double stop = options.get_double("stop", 10.0);
+    const auto points = static_cast<std::size_t>(options.get_int("points", 8));
+    reject_leftovers(options);
+
+    const core::link_budget budget(cfg);
+    std::printf("%-10s %-14s %-14s %-10s\n", "range_m", "at_tag_dBm", "at_AP_dBm",
+                "SNR_dB");
+    for (const auto& entry : budget.sweep(start, stop, points)) {
+        std::printf("%-10.2f %-14.1f %-14.1f %-10.1f\n", entry.distance_m,
+                    entry.incident_at_tag_dbm, entry.received_at_ap_dbm, entry.snr_db);
+    }
+    for (const auto& option : ap::rate_table()) {
+        std::printf("max range %-7s %-9s: %.1f m\n",
+                    phy::modulation_name(option.scheme).c_str(),
+                    phy::fec_mode_name(option.fec),
+                    budget.max_range_m(option.required_snr_db + 2.0));
+    }
+    return 0;
+}
+
+int run_network(const option_set& options)
+{
+    const auto tag_count = static_cast<std::size_t>(options.get_int("tags", 20));
+    const double max_range = options.get_double("max-range", 8.0);
+    const auto payload = static_cast<std::size_t>(options.get_int("payload", 256));
+    const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+    reject_leftovers(options);
+    if (tag_count == 0) throw std::invalid_argument("--tags must be >= 1");
+
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> range_dist(1.0, max_range);
+    std::uniform_real_distribution<double> angle_dist(-35.0, 35.0);
+    std::vector<core::tag_descriptor> tags;
+    for (std::uint32_t i = 0; i < tag_count; ++i) {
+        tags.push_back({i, range_dist(rng), deg_to_rad(angle_dist(rng))});
+    }
+    const core::network net(cli_scenario(), tags);
+    const auto report = net.run(seed, payload);
+
+    std::printf("network: %zu tags within %.1f m\n", tag_count, max_range);
+    std::printf("  inventory  %zu/%zu in %zu slots (%.0f%% efficiency)\n",
+                report.inventory.tags_identified, report.inventory.tags_total,
+                report.inventory.slots_used, 100.0 * report.inventory.efficiency());
+    std::printf("  snr range  %.1f .. %.1f dB\n", report.min_snr_db, report.max_snr_db);
+    std::printf("  tdma       %.3f ms cycle, %.2f Mb/s aggregate\n",
+                report.tdma.cycle_time_s * 1e3, report.aggregate_goodput_bps / 1e6);
+    return report.inventory.complete() ? 0 : 2;
+}
+
+int run_inventory(const option_set& options)
+{
+    const auto tag_count = static_cast<std::size_t>(options.get_int("tags", 50));
+    const auto seeds = static_cast<std::size_t>(options.get_int("seeds", 10));
+    const double success = options.get_double("success", 0.98);
+    reject_leftovers(options);
+    if (seeds == 0) throw std::invalid_argument("--seeds must be >= 1");
+
+    mac::aloha_config cfg;
+    cfg.singleton_success = success;
+    const mac::aloha_inventory inventory(cfg);
+    double slots = 0.0;
+    double efficiency = 0.0;
+    std::size_t incomplete = 0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+        const auto stats = inventory.run(tag_count, 100 + s);
+        slots += static_cast<double>(stats.slots_used);
+        efficiency += stats.efficiency();
+        if (!stats.complete()) ++incomplete;
+    }
+    std::printf("inventory: %zu tags, %zu seeds, PHY success %.2f\n", tag_count, seeds,
+                success);
+    std::printf("  mean slots       %.1f\n", slots / static_cast<double>(seeds));
+    std::printf("  mean efficiency  %.3f (1/e ideal %.3f)\n",
+                efficiency / static_cast<double>(seeds),
+                mac::aloha_inventory::theoretical_peak_efficiency(tag_count));
+    std::printf("  incomplete runs  %zu\n", incomplete);
+    return incomplete == 0 ? 0 : 2;
+}
+
+const char* usage()
+{
+    return "usage: mmtag_sim <command> [--key value ...]\n"
+           "\n"
+           "commands:\n"
+           "  link       end-to-end single-link simulation\n"
+           "             --distance M --angle DEG --scheme bpsk|qpsk|8psk|16psk\n"
+           "             --fec none|1/2|2/3|3/4 --frames N --payload BYTES\n"
+           "             --reflector van-atta|plate --k-factor DB --seed S\n"
+           "  budget     analytic link budget sweep\n"
+           "             --start M --stop M --points N --tx-power DBM --elements N\n"
+           "  network    inventory + TDMA over a random population\n"
+           "             --tags N --max-range M --payload BYTES --seed S\n"
+           "  inventory  slotted-ALOHA statistics\n"
+           "             --tags N --seeds N --success P\n"
+           "  help       this text\n";
+}
+
+int dispatch(int argc, const char* const* argv)
+{
+    try {
+        const auto options = option_set::parse(argc, argv);
+        if (options.command() == "link") return run_link(options);
+        if (options.command() == "budget") return run_budget(options);
+        if (options.command() == "network") return run_network(options);
+        if (options.command() == "inventory") return run_inventory(options);
+        if (options.command() == "help") {
+            std::printf("%s", usage());
+            return 0;
+        }
+        std::fprintf(stderr, "unknown command '%s'\n%s", options.command().c_str(),
+                     usage());
+        return 1;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n%s", error.what(), usage());
+        return 1;
+    }
+}
+
+} // namespace mmtag::cli

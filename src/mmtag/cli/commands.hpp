@@ -1,0 +1,33 @@
+// Subcommand implementations for the mmtag_sim tool. Each returns a process
+// exit code and prints to stdout; errors print to stderr via the caller.
+#pragma once
+
+#include "mmtag/cli/options.hpp"
+
+namespace mmtag::cli {
+
+/// `link`: run the end-to-end single-link simulation.
+/// Options: --distance (m), --angle (deg), --scheme, --fec, --frames,
+/// --payload (bytes), --seed, --reflector (van-atta|plate), --k-factor (dB).
+int run_link(const option_set& options);
+
+/// `budget`: print the analytic link budget.
+/// Options: --start, --stop, --points, --tx-power (dBm), --elements.
+int run_budget(const option_set& options);
+
+/// `network`: inventory + TDMA over a random population.
+/// Options: --tags, --max-range (m), --payload (bytes), --seed.
+int run_network(const option_set& options);
+
+/// `inventory`: slotted-ALOHA statistics only.
+/// Options: --tags, --seeds, --success (per-slot PHY success probability).
+int run_inventory(const option_set& options);
+
+/// Usage text for `help` / errors.
+[[nodiscard]] const char* usage();
+
+/// Dispatches to a subcommand; returns the exit code. Unknown commands and
+/// option errors print to stderr and return nonzero.
+int dispatch(int argc, const char* const* argv);
+
+} // namespace mmtag::cli

@@ -1,0 +1,123 @@
+#include "mmtag/cli/options.hpp"
+
+#include <stdexcept>
+
+namespace mmtag::cli {
+
+option_set option_set::parse(int argc, const char* const* argv)
+{
+    option_set out;
+    if (argc < 2) throw std::invalid_argument("missing subcommand");
+    out.command_ = argv[1];
+    if (out.command_.empty() || out.command_[0] == '-') {
+        throw std::invalid_argument("first argument must be a subcommand, got '" +
+                                    out.command_ + "'");
+    }
+    for (int i = 2; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+            throw std::invalid_argument("expected --key, got '" + token + "'");
+        }
+        token.erase(0, 2);
+        std::string value;
+        const auto equals = token.find('=');
+        if (equals != std::string::npos) {
+            value = token.substr(equals + 1);
+            token.resize(equals);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        } else {
+            value = "true"; // bare flag
+        }
+        if (out.values_.count(token) != 0) {
+            throw std::invalid_argument("duplicate option --" + token);
+        }
+        out.values_[token] = value;
+    }
+    return out;
+}
+
+bool option_set::has(const std::string& key) const
+{
+    return values_.count(key) != 0;
+}
+
+double option_set::get_double(const std::string& key, double fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    consumed_[key] = true;
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(it->second, &used);
+        if (used != it->second.size()) throw std::invalid_argument("trailing junk");
+        return value;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("--" + key + " expects a number, got '" + it->second +
+                                    "'");
+    }
+}
+
+std::int64_t option_set::get_int(const std::string& key, std::int64_t fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    consumed_[key] = true;
+    try {
+        std::size_t used = 0;
+        const long long value = std::stoll(it->second, &used);
+        if (used != it->second.size()) throw std::invalid_argument("trailing junk");
+        return value;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("--" + key + " expects an integer, got '" + it->second +
+                                    "'");
+    }
+}
+
+std::string option_set::get_string(const std::string& key, const std::string& fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    consumed_[key] = true;
+    return it->second;
+}
+
+bool option_set::get_flag(const std::string& key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end()) return false;
+    consumed_[key] = true;
+    if (it->second == "true" || it->second == "1" || it->second == "yes") return true;
+    if (it->second == "false" || it->second == "0" || it->second == "no") return false;
+    throw std::invalid_argument("--" + key + " is a flag; got '" + it->second + "'");
+}
+
+std::vector<std::string> option_set::unconsumed() const
+{
+    std::vector<std::string> leftover;
+    for (const auto& [key, value] : values_) {
+        if (consumed_.find(key) == consumed_.end()) leftover.push_back(key);
+    }
+    return leftover;
+}
+
+phy::modulation parse_modulation(const std::string& name)
+{
+    if (name == "bpsk") return phy::modulation::bpsk;
+    if (name == "qpsk") return phy::modulation::qpsk;
+    if (name == "8psk") return phy::modulation::psk8;
+    if (name == "16psk") return phy::modulation::psk16;
+    throw std::invalid_argument("unknown modulation '" + name +
+                                "' (bpsk, qpsk, 8psk, 16psk)");
+}
+
+phy::fec_mode parse_fec(const std::string& name)
+{
+    if (name == "none") return phy::fec_mode::uncoded;
+    if (name == "1/2") return phy::fec_mode::conv_half;
+    if (name == "2/3") return phy::fec_mode::conv_two_thirds;
+    if (name == "3/4") return phy::fec_mode::conv_three_quarters;
+    throw std::invalid_argument("unknown FEC '" + name + "' (none, 1/2, 2/3, 3/4)");
+}
+
+} // namespace mmtag::cli

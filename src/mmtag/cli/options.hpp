@@ -1,0 +1,54 @@
+// Command-line option parsing for the mmtag_sim tool. Kept in the library
+// (rather than the tool's main.cpp) so parsing and validation are unit
+// tested like everything else.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mmtag/phy/frame.hpp"
+
+namespace mmtag::cli {
+
+/// Tokenized command line: one subcommand plus --key value pairs.
+///
+/// Accepted forms: `--key value` and `--key=value`. Unknown keys are
+/// collected so commands can reject them with a precise message.
+class option_set {
+public:
+    /// Parses argv[1..]; argv[1] must be the subcommand (no leading dashes).
+    /// Throws std::invalid_argument on malformed input.
+    static option_set parse(int argc, const char* const* argv);
+
+    [[nodiscard]] const std::string& command() const { return command_; }
+
+    [[nodiscard]] bool has(const std::string& key) const;
+
+    /// Typed getters: return the default when absent, throw
+    /// std::invalid_argument when present but unparseable/out of range.
+    [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+    [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+    [[nodiscard]] std::string get_string(const std::string& key,
+                                         const std::string& fallback) const;
+    [[nodiscard]] bool get_flag(const std::string& key) const;
+
+    /// Keys that were supplied but never consumed by a getter; commands call
+    /// this last to reject typos.
+    [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+private:
+    std::string command_;
+    std::map<std::string, std::string> values_;
+    mutable std::map<std::string, bool> consumed_;
+};
+
+/// Parses a modulation name ("bpsk", "qpsk", "8psk", "16psk").
+[[nodiscard]] phy::modulation parse_modulation(const std::string& name);
+
+/// Parses a FEC name ("none", "1/2", "2/3", "3/4").
+[[nodiscard]] phy::fec_mode parse_fec(const std::string& name);
+
+} // namespace mmtag::cli

@@ -1,0 +1,45 @@
+#include "mmtag/core/baselines.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmtag::core {
+
+double active_radio_model::pa_power_w() const
+{
+    if (!(pa_efficiency > 0.0 && pa_efficiency <= 1.0)) {
+        throw std::invalid_argument("active_radio_model: efficiency outside (0, 1]");
+    }
+    const double output_w = std::pow(10.0, (pa_output_dbm - 30.0) / 10.0);
+    return output_w / pa_efficiency;
+}
+
+double active_radio_model::total_power_w() const
+{
+    return pll_vco_w + mixer_w + pa_power_w() + baseband_w +
+           static_cast<double>(phased_array_elements) * per_element_w;
+}
+
+double active_radio_model::energy_per_bit(double data_rate_bps) const
+{
+    if (data_rate_bps <= 0.0) throw std::invalid_argument("active_radio_model: rate <= 0");
+    return total_power_w() / data_rate_bps;
+}
+
+double phased_array_tag_model::total_power_w() const
+{
+    return static_cast<double>(elements) * per_element_w + control_w;
+}
+
+std::vector<energy_reference> literature_energy_points()
+{
+    return {
+        {"mmTag (anchor)", 2.4e-9, 10e6,
+         "uplink-only mmWave backscatter; figure cited by follow-up work"},
+        {"WiFi backscatter", 1e-9, 1e6, "sub-6 GHz ambient backscatter class"},
+        {"802.11ad radio", 15e-9, 100e6, "active 60 GHz radio at ~1.5 W"},
+        {"active mmWave IoT radio", 4e-9, 100e6, "component-budget model below"},
+    };
+}
+
+} // namespace mmtag::core

@@ -1,0 +1,124 @@
+#include "mmtag/core/link_simulator.hpp"
+
+#include <algorithm>
+
+#include "mmtag/dsp/estimators.hpp"
+#include "mmtag/phy/bitio.hpp"
+
+namespace mmtag::core {
+
+link_simulator::link_simulator(const system_config& cfg)
+    : cfg_([&] {
+          validate(cfg);
+          return cfg;
+      }()),
+      channel_(make_channel_config(cfg_)),
+      modulator_(cfg_.modulator),
+      energy_(cfg_.energy),
+      transmitter_(cfg_.transmitter, cfg_.seed * 7919 + 1),
+      receiver_(cfg_.receiver, cfg_.seed * 104729 + 2)
+{
+}
+
+link_simulator::frame_result link_simulator::run_frame(std::span<const std::uint8_t> payload)
+{
+    ++trial_;
+    frame_result result;
+    if (cfg_.rician_k_db < 80.0) {
+        channel_.redraw_fading(cfg_.seed * 6364136223846793005ULL + trial_);
+    }
+
+    const tag::modulated_frame frame = modulator_.modulate(payload);
+    // Trailing quiet margin sized to cover the canceller's drift-tracking
+    // tail window plus symbol-level slack.
+    const std::size_t margin =
+        4 * modulator_.samples_per_symbol() +
+        static_cast<std::size_t>(std::ceil(
+            2.5 * cfg_.receiver.canceller.tail_fraction *
+            static_cast<double>(frame.gamma.size())));
+    const std::size_t base =
+        frame.gamma.size() + 2 * channel_.one_way_delay_samples() + margin;
+
+    // Quiet lead-in: the AP keys its carrier before the tag's turnaround
+    // expires, giving the canceller a tag-free window to estimate the static
+    // environment from. Sized to safely cover the training fraction.
+    const double training = cfg_.receiver.canceller.training_fraction +
+                            cfg_.receiver.canceller.training_skip;
+    const auto lead = static_cast<std::size_t>(
+        std::ceil(2.0 * training * static_cast<double>(base))) +
+        modulator_.samples_per_symbol();
+    cvec gamma(lead, frame.gamma.front());
+    gamma.insert(gamma.end(), frame.gamma.begin(), frame.gamma.end());
+    const std::size_t capture = base + lead;
+
+    const auto query = transmitter_.generate(capture);
+    const cvec antenna = channel_.ap_received(query.rf, gamma);
+    result.rx = receiver_.receive(antenna, query.lo);
+
+    result.bits = payload.size() * 8;
+    result.tag_energy_j = energy_.frame_energy_j(frame);
+    result.airtime_s = frame.duration_s;
+    result.delivered = result.rx.frame_found && result.rx.crc_ok;
+
+    if (result.rx.frame_found && !result.rx.payload.empty()) {
+        const std::size_t compare = std::min(payload.size(), result.rx.payload.size());
+        for (std::size_t i = 0; i < compare; ++i) {
+            std::uint8_t diff = static_cast<std::uint8_t>(payload[i] ^ result.rx.payload[i]);
+            while (diff != 0) {
+                result.bit_errors += diff & 1u;
+                diff >>= 1;
+            }
+        }
+        result.bit_errors += (payload.size() - compare) * 4;
+    } else {
+        result.bit_errors = payload.size() * 4; // lost frame: coin-flip bits
+    }
+    return result;
+}
+
+link_report link_simulator::run_trials(std::size_t frames, std::size_t payload_bytes)
+{
+    error_counter errors;
+    dsp::running_stats snr;
+    dsp::running_stats evm;
+    double total_energy = 0.0;
+    double total_airtime = 0.0;
+    std::size_t delivered_bits = 0;
+
+    for (std::size_t f = 0; f < frames; ++f) {
+        const auto payload =
+            phy::random_bytes(payload_bytes, cfg_.seed * 1'000'003 + trial_ + f);
+        const frame_result result = run_frame(payload);
+        if (result.rx.frame_found) {
+            errors.add_frame(payload, result.rx.payload, result.delivered);
+            snr.add(result.rx.snr_db);
+            evm.add(result.rx.evm_db);
+        } else {
+            errors.add_lost_frame(payload.size());
+        }
+        total_energy += result.tag_energy_j;
+        total_airtime += result.airtime_s;
+        if (result.delivered) delivered_bits += result.bits;
+    }
+
+    link_report report;
+    report.frames = frames;
+    report.ber = errors.ber();
+    report.per = errors.per();
+    report.mean_snr_db = snr.count() > 0 ? snr.mean() : -100.0;
+    report.mean_evm_db = evm.count() > 0 ? evm.mean() : 0.0;
+    report.goodput_bps = total_airtime > 0.0
+                             ? static_cast<double>(delivered_bits) / total_airtime
+                             : 0.0;
+    const double offered_bits = static_cast<double>(frames * payload_bytes * 8);
+    report.tag_energy_per_bit_j = offered_bits > 0.0 ? total_energy / offered_bits : 0.0;
+    return report;
+}
+
+cvec link_simulator::capture_symbols(std::span<const std::uint8_t> payload)
+{
+    const frame_result result = run_frame(payload);
+    return result.rx.symbols;
+}
+
+} // namespace mmtag::core

@@ -1,0 +1,52 @@
+// End-to-end single-link simulator: AP transmitter -> backscatter channel ->
+// tag modulator -> channel -> AP receiver, sample-accurate. This is the
+// harness every PHY-level experiment (R2-R8, R12-R14) drives.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mmtag/common.hpp"
+#include "mmtag/core/config.hpp"
+#include "mmtag/core/metrics.hpp"
+
+namespace mmtag::core {
+
+class link_simulator {
+public:
+    explicit link_simulator(const system_config& cfg);
+
+    [[nodiscard]] const system_config& parameters() const { return cfg_; }
+
+    struct frame_result {
+        ap::reception rx;
+        bool delivered = false;
+        std::size_t bit_errors = 0;
+        std::size_t bits = 0;
+        double tag_energy_j = 0.0;
+        double airtime_s = 0.0;
+    };
+
+    /// Runs one complete frame exchange.
+    [[nodiscard]] frame_result run_frame(std::span<const std::uint8_t> payload);
+
+    /// Runs `frames` exchanges with fresh random payloads of `payload_bytes`
+    /// and aggregates the metrics.
+    [[nodiscard]] link_report run_trials(std::size_t frames, std::size_t payload_bytes);
+
+    /// Raw access for microbenchmarks: the receiver's view of one frame
+    /// without decoding (normalized symbols after sync), or empty when sync
+    /// fails.
+    [[nodiscard]] cvec capture_symbols(std::span<const std::uint8_t> payload);
+
+private:
+    system_config cfg_;
+    channel::backscatter_channel channel_;
+    tag::backscatter_modulator modulator_;
+    tag::energy_model energy_;
+    ap::ap_transmitter transmitter_;
+    ap::ap_receiver receiver_;
+    std::uint64_t trial_ = 0;
+};
+
+} // namespace mmtag::core

@@ -1,0 +1,85 @@
+#include "mmtag/core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "mmtag/phy/bitio.hpp"
+
+namespace mmtag::core {
+
+void error_counter::add_frame(std::span<const std::uint8_t> sent,
+                              std::span<const std::uint8_t> received, bool delivered)
+{
+    ++frames_;
+    if (delivered) ++delivered_;
+    bits_ += sent.size() * 8;
+    const std::size_t compare = std::min(sent.size(), received.size());
+    for (std::size_t i = 0; i < compare; ++i) {
+        std::uint8_t diff = static_cast<std::uint8_t>(sent[i] ^ received[i]);
+        while (diff != 0) {
+            bit_errors_ += diff & 1u;
+            diff >>= 1;
+        }
+    }
+    // Missing bytes count as fully errored at rate 1/2 (random data).
+    if (received.size() < sent.size()) {
+        bit_errors_ += (sent.size() - received.size()) * 4;
+    }
+}
+
+void error_counter::add_lost_frame(std::size_t payload_bytes)
+{
+    ++frames_;
+    bits_ += payload_bytes * 8;
+    bit_errors_ += payload_bytes * 4; // undetected output ~ coin-flip bits
+}
+
+double error_counter::ber() const
+{
+    if (bits_ == 0) return 0.0;
+    return static_cast<double>(bit_errors_) / static_cast<double>(bits_);
+}
+
+double error_counter::per() const
+{
+    if (frames_ == 0) return 0.0;
+    return 1.0 - static_cast<double>(delivered_) / static_cast<double>(frames_);
+}
+
+double error_counter::ber_confidence() const
+{
+    if (bits_ == 0) return 0.0;
+    constexpr double z = 1.96;
+    const double n = static_cast<double>(bits_);
+    const double p = ber();
+    return z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) / (1.0 + z * z / n);
+}
+
+void error_counter::reset()
+{
+    frames_ = 0;
+    delivered_ = 0;
+    bits_ = 0;
+    bit_errors_ = 0;
+}
+
+double per_from_ber(double ber, std::size_t frame_bits)
+{
+    if (!(ber >= 0.0 && ber <= 1.0)) throw std::invalid_argument("per_from_ber: ber outside [0,1]");
+    return 1.0 - std::pow(1.0 - ber, static_cast<double>(frame_bits));
+}
+
+std::string format_ber(double ber, std::size_t bits_observed)
+{
+    char buffer[32];
+    if (ber <= 0.0) {
+        std::snprintf(buffer, sizeof buffer, "<%.1e", 1.0 / std::max<std::size_t>(bits_observed, 1));
+    } else {
+        std::snprintf(buffer, sizeof buffer, "%.1e", ber);
+    }
+    return buffer;
+}
+
+} // namespace mmtag::core

@@ -1,0 +1,114 @@
+#include "mmtag/core/multitag_simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmtag::core {
+
+multitag_simulator::multitag_simulator(const system_config& base,
+                                       std::vector<tag_descriptor> tags)
+    : base_([&] {
+          validate(base);
+          return base;
+      }()),
+      modulator_(base_.modulator),
+      transmitter_(base_.transmitter, base_.seed * 2654435761ULL + 3)
+{
+    if (tags.empty()) throw std::invalid_argument("multitag_simulator: no tags");
+    channels_.reserve(tags.size());
+    for (const auto& tag : tags) {
+        system_config cfg = base_;
+        cfg.distance_m = tag.distance_m;
+        cfg.tag_incidence_rad = tag.incidence_rad;
+        channels_.emplace_back(make_channel_config(cfg));
+    }
+}
+
+double multitag_simulator::burst_duration_s(std::size_t payload_bytes) const
+{
+    const auto frame = modulator_.modulate(std::vector<std::uint8_t>(payload_bytes, 0));
+    return frame.duration_s;
+}
+
+std::vector<burst_outcome> multitag_simulator::run(const std::vector<tag_burst>& bursts)
+{
+    ++runs_;
+    for (const auto& burst : bursts) {
+        if (burst.tag_index >= channels_.size()) {
+            throw std::invalid_argument("multitag_simulator: tag index out of range");
+        }
+    }
+
+    // Modulate every burst and find the capture extent.
+    const double fs = base_.sample_rate_hz;
+    const std::size_t sps = modulator_.samples_per_symbol();
+    std::vector<tag::modulated_frame> frames;
+    std::vector<std::size_t> starts;
+    frames.reserve(bursts.size());
+    std::size_t latest_end = 0;
+    // Lead for the canceller's quiet background window.
+    const double training = base_.receiver.canceller.training_fraction +
+                            base_.receiver.canceller.training_skip;
+    for (const auto& burst : bursts) {
+        frames.push_back(modulator_.modulate(burst.payload));
+        const auto start = static_cast<std::size_t>(std::round(burst.start_s * fs));
+        starts.push_back(start);
+        latest_end = std::max(latest_end, start + frames.back().gamma.size());
+    }
+    const std::size_t margin =
+        8 * sps + static_cast<std::size_t>(
+                      std::ceil(4.0 * base_.receiver.canceller.tail_fraction *
+                                static_cast<double>(latest_end)));
+    std::size_t capture = latest_end + margin;
+    const auto lead = static_cast<std::size_t>(
+        std::ceil(2.0 * training * static_cast<double>(capture))) + sps;
+    capture += lead;
+
+    const auto query = transmitter_.generate(capture);
+
+    // Environment: leakage + clutter from the first channel (shared room).
+    const cvec quiet(1, cf64{});
+    cvec antenna = channels_.front().ap_received(query.rf, quiet);
+
+    // Superpose each tag's reflection, placed at its slot.
+    for (std::size_t b = 0; b < bursts.size(); ++b) {
+        cvec gamma(capture, cf64{});
+        const std::size_t start = starts[b] + lead;
+        const auto& wave = frames[b].gamma;
+        for (std::size_t i = 0; i < wave.size() && start + i < capture; ++i) {
+            gamma[start + i] = wave[i];
+        }
+        const cvec contribution =
+            channels_[bursts[b].tag_index].tag_contribution(query.rf, gamma);
+        for (std::size_t i = 0; i < capture; ++i) antenna[i] += contribution[i];
+    }
+
+    // Receive each burst in its own window (slot receiver): from just before
+    // the burst to just after it, with a quiet pre-roll for the canceller.
+    std::vector<burst_outcome> outcomes(bursts.size());
+    for (std::size_t b = 0; b < bursts.size(); ++b) {
+        const std::size_t start = starts[b] + lead;
+        const std::size_t pre = std::min<std::size_t>(start, lead);
+        const std::size_t begin = start - pre;
+        const std::size_t window_tail =
+            4 * sps + static_cast<std::size_t>(
+                          std::ceil(2.5 * base_.receiver.canceller.tail_fraction *
+                                    static_cast<double>(frames[b].gamma.size())));
+        const std::size_t end =
+            std::min(capture, start + frames[b].gamma.size() + window_tail);
+        const std::span<const cf64> window{antenna.data() + begin, end - begin};
+        const std::span<const cf64> lo{query.lo.data() + begin, end - begin};
+
+        ap::ap_receiver receiver(base_.receiver,
+                                 base_.seed * 7177 + runs_ * 131 + b);
+        const auto rx = receiver.receive(window, lo);
+        outcomes[b].frame_found = rx.frame_found;
+        outcomes[b].snr_db = rx.snr_db;
+        outcomes[b].payload = rx.payload;
+        outcomes[b].delivered =
+            rx.frame_found && rx.crc_ok && rx.payload == bursts[b].payload;
+    }
+    return outcomes;
+}
+
+} // namespace mmtag::core

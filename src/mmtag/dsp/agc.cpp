@@ -1,0 +1,46 @@
+#include "mmtag/dsp/agc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmtag::dsp {
+
+agc::agc() : agc(config{}) {}
+
+agc::agc(const config& cfg) : cfg_(cfg), gain_(cfg.initial_gain)
+{
+    if (cfg_.reference <= 0.0) throw std::invalid_argument("agc: reference must be > 0");
+    if (cfg_.step <= 0.0 || cfg_.step >= 1.0) {
+        throw std::invalid_argument("agc: step must be in (0, 1)");
+    }
+    if (!(cfg_.min_gain > 0.0 && cfg_.min_gain <= cfg_.max_gain)) {
+        throw std::invalid_argument("agc: invalid gain bounds");
+    }
+}
+
+cf64 agc::process(cf64 input)
+{
+    const cf64 output = input * gain_;
+    const double envelope = std::abs(output);
+    // Log-domain update keeps the loop stable across decades of input power.
+    if (envelope > 0.0) {
+        gain_ *= std::exp(cfg_.step * std::log(cfg_.reference / envelope));
+    }
+    gain_ = std::clamp(gain_, cfg_.min_gain, cfg_.max_gain);
+    return output;
+}
+
+cvec agc::process(std::span<const cf64> input)
+{
+    cvec out;
+    out.reserve(input.size());
+    for (cf64 x : input) out.push_back(process(x));
+    return out;
+}
+
+void agc::reset()
+{
+    gain_ = cfg_.initial_gain;
+}
+
+} // namespace mmtag::dsp

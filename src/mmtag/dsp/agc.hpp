@@ -1,0 +1,38 @@
+// Automatic gain control driving signal amplitude toward a reference level.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag::dsp {
+
+/// Feedback AGC: gain is updated per sample from the envelope error so the
+/// output RMS converges to `reference`. Loop rate is set by `step` (typical
+/// 1e-3 .. 1e-1); gain is clamped to [min_gain, max_gain].
+class agc {
+public:
+    struct config {
+        double reference = 1.0;
+        double step = 1e-2;
+        double min_gain = 1e-6;
+        double max_gain = 1e6;
+        double initial_gain = 1.0;
+    };
+
+    agc();
+    explicit agc(const config& cfg);
+
+    [[nodiscard]] double gain() const { return gain_; }
+
+    [[nodiscard]] cf64 process(cf64 input);
+    [[nodiscard]] cvec process(std::span<const cf64> input);
+    void reset();
+
+private:
+    config cfg_;
+    double gain_;
+};
+
+} // namespace mmtag::dsp

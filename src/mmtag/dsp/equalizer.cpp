@@ -1,0 +1,80 @@
+#include "mmtag/dsp/equalizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmtag::dsp {
+
+lms_equalizer::lms_equalizer(const config& cfg) : cfg_(cfg)
+{
+    if (cfg_.taps == 0 || cfg_.taps % 2 == 0) {
+        throw std::invalid_argument("lms_equalizer: taps must be odd and >= 1");
+    }
+    if (!(cfg_.step > 0.0 && cfg_.step < 1.0)) {
+        throw std::invalid_argument("lms_equalizer: step must be in (0, 1)");
+    }
+    if (cfg_.modulation_order < 2) {
+        throw std::invalid_argument("lms_equalizer: modulation order must be >= 2");
+    }
+    reset();
+}
+
+void lms_equalizer::reset()
+{
+    weights_.assign(cfg_.taps, cf64{});
+    weights_[cfg_.taps / 2] = cf64{1.0, 0.0}; // center-spike initialization
+    delay_line_.assign(cfg_.taps, cf64{});
+}
+
+cf64 lms_equalizer::filter_and_push(cf64 input)
+{
+    std::rotate(delay_line_.rbegin(), delay_line_.rbegin() + 1, delay_line_.rend());
+    delay_line_[0] = input;
+    cf64 acc{};
+    for (std::size_t k = 0; k < weights_.size(); ++k) acc += weights_[k] * delay_line_[k];
+    return acc;
+}
+
+void lms_equalizer::adapt(cf64 error)
+{
+    for (std::size_t k = 0; k < weights_.size(); ++k) {
+        weights_[k] += cfg_.step * error * std::conj(delay_line_[k]);
+    }
+}
+
+cf64 lms_equalizer::slice(cf64 symbol) const
+{
+    if (std::abs(symbol) < 1e-12) return cf64{1.0, 0.0};
+    const double sector = two_pi / static_cast<double>(cfg_.modulation_order);
+    const double nearest = std::round(std::arg(symbol) / sector) * sector;
+    return std::polar(1.0, nearest);
+}
+
+cvec lms_equalizer::train(std::span<const cf64> received, std::span<const cf64> reference)
+{
+    if (received.size() != reference.size()) {
+        throw std::invalid_argument("lms_equalizer::train: size mismatch");
+    }
+    cvec out;
+    out.reserve(received.size());
+    for (std::size_t i = 0; i < received.size(); ++i) {
+        const cf64 y = filter_and_push(received[i]);
+        adapt(reference[i] - y);
+        out.push_back(y);
+    }
+    return out;
+}
+
+cvec lms_equalizer::process(std::span<const cf64> received)
+{
+    cvec out;
+    out.reserve(received.size());
+    for (cf64 x : received) {
+        const cf64 y = filter_and_push(x);
+        adapt(slice(y) - y);
+        out.push_back(y);
+    }
+    return out;
+}
+
+} // namespace mmtag::dsp

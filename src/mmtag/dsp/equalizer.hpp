@@ -1,0 +1,44 @@
+// Adaptive linear equalization (LMS) for residual channel distortion.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag::dsp {
+
+/// Complex LMS feed-forward equalizer operating at symbol rate.
+///
+/// Supports a training phase (known symbols) followed by decision-directed
+/// operation against an M-PSK slicer.
+class lms_equalizer {
+public:
+    struct config {
+        std::size_t taps = 7;
+        double step = 0.01;               // LMS mu
+        std::size_t modulation_order = 4; // for the decision-directed slicer
+    };
+
+    explicit lms_equalizer(const config& cfg);
+
+    /// Adapts on known training symbols; returns equalized outputs.
+    [[nodiscard]] cvec train(std::span<const cf64> received, std::span<const cf64> reference);
+
+    /// Decision-directed equalization of payload symbols.
+    [[nodiscard]] cvec process(std::span<const cf64> received);
+
+    [[nodiscard]] const cvec& weights() const { return weights_; }
+    void reset();
+
+private:
+    [[nodiscard]] cf64 filter_and_push(cf64 input);
+    void adapt(cf64 error);
+    [[nodiscard]] cf64 slice(cf64 symbol) const;
+
+    config cfg_;
+    cvec weights_;
+    cvec delay_line_;
+};
+
+} // namespace mmtag::dsp

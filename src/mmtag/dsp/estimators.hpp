@@ -1,0 +1,58 @@
+// Signal-quality estimators: power, SNR, EVM, and related statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag::dsp {
+
+/// Mean power (second moment) of a complex buffer.
+[[nodiscard]] double mean_power(std::span<const cf64> samples);
+
+/// RMS amplitude.
+[[nodiscard]] double rms(std::span<const cf64> samples);
+
+/// Peak-to-average power ratio in dB.
+[[nodiscard]] double papr_db(std::span<const cf64> samples);
+
+/// Error vector magnitude (RMS, as a fraction of reference RMS) between
+/// received symbols and their references.
+[[nodiscard]] double evm_rms(std::span<const cf64> received, std::span<const cf64> reference);
+
+/// EVM expressed in dB: 20 log10(evm_rms).
+[[nodiscard]] double evm_db(std::span<const cf64> received, std::span<const cf64> reference);
+
+/// Data-aided SNR estimate from matched received/reference symbol pairs:
+/// projects out the complex gain, then compares signal to residual power.
+[[nodiscard]] double snr_estimate_db(std::span<const cf64> received,
+                                     std::span<const cf64> reference);
+
+/// Blind M2M4 moments-based SNR estimator for constant-modulus signals.
+[[nodiscard]] double snr_m2m4_db(std::span<const cf64> samples);
+
+/// Running mean/variance accumulator (Welford).
+class running_stats {
+public:
+    void add(double value);
+    [[nodiscard]] std::size_t count() const { return count_; }
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double standard_deviation() const;
+    [[nodiscard]] double minimum() const;
+    [[nodiscard]] double maximum() const;
+    void reset();
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation, p in [0, 100]).
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+} // namespace mmtag::dsp

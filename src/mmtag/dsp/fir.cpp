@@ -1,0 +1,112 @@
+#include "mmtag/dsp/fir.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmtag::dsp {
+
+namespace {
+
+void check_design_args(double cutoff_norm, std::size_t taps)
+{
+    if (!(cutoff_norm > 0.0 && cutoff_norm < 0.5)) {
+        throw std::invalid_argument("fir design: cutoff must be in (0, 0.5)");
+    }
+    if (taps < 3 || taps % 2 == 0) {
+        throw std::invalid_argument("fir design: taps must be odd and >= 3");
+    }
+}
+
+double sinc(double x)
+{
+    if (std::abs(x) < 1e-12) return 1.0;
+    return std::sin(pi * x) / (pi * x);
+}
+
+} // namespace
+
+rvec design_lowpass(double cutoff_norm, std::size_t taps, window_kind window)
+{
+    check_design_args(cutoff_norm, taps);
+    const rvec w = make_window(window, taps);
+    rvec h(taps);
+    const double middle = static_cast<double>(taps - 1) / 2.0;
+    double sum = 0.0;
+    for (std::size_t n = 0; n < taps; ++n) {
+        const double t = static_cast<double>(n) - middle;
+        h[n] = 2.0 * cutoff_norm * sinc(2.0 * cutoff_norm * t) * w[n];
+        sum += h[n];
+    }
+    // Normalize to unity gain at DC.
+    for (auto& tap : h) tap /= sum;
+    return h;
+}
+
+rvec design_highpass(double cutoff_norm, std::size_t taps, window_kind window)
+{
+    rvec h = design_lowpass(cutoff_norm, taps, window);
+    // Spectral inversion: delta at the center minus the low-pass response.
+    for (auto& tap : h) tap = -tap;
+    h[(taps - 1) / 2] += 1.0;
+    return h;
+}
+
+rvec design_bandpass(double low_norm, double high_norm, std::size_t taps, window_kind window)
+{
+    if (!(low_norm < high_norm)) {
+        throw std::invalid_argument("design_bandpass: low cutoff must be below high cutoff");
+    }
+    check_design_args(low_norm, taps);
+    check_design_args(high_norm, taps);
+    const rvec lp_high = design_lowpass(high_norm, taps, window);
+    const rvec lp_low = design_lowpass(low_norm, taps, window);
+    rvec h(taps);
+    for (std::size_t n = 0; n < taps; ++n) h[n] = lp_high[n] - lp_low[n];
+    return h;
+}
+
+fir_filter::fir_filter(rvec taps) : taps_(std::move(taps))
+{
+    if (taps_.empty()) throw std::invalid_argument("fir_filter: empty taps");
+    delay_line_.assign(taps_.size(), cf64{});
+}
+
+cf64 fir_filter::process(cf64 input)
+{
+    delay_line_[head_] = input;
+    cf64 acc{};
+    std::size_t index = head_;
+    for (double tap : taps_) {
+        acc += tap * delay_line_[index];
+        index = (index == 0) ? delay_line_.size() - 1 : index - 1;
+    }
+    head_ = (head_ + 1) % delay_line_.size();
+    return acc;
+}
+
+cvec fir_filter::process(std::span<const cf64> input)
+{
+    cvec out;
+    out.reserve(input.size());
+    for (cf64 x : input) out.push_back(process(x));
+    return out;
+}
+
+void fir_filter::reset()
+{
+    std::fill(delay_line_.begin(), delay_line_.end(), cf64{});
+    head_ = 0;
+}
+
+double fir_filter::group_delay() const
+{
+    return static_cast<double>(taps_.size() - 1) / 2.0;
+}
+
+cvec fir_apply(std::span<const double> taps, std::span<const cf64> input)
+{
+    fir_filter filter{rvec(taps.begin(), taps.end())};
+    return filter.process(input);
+}
+
+} // namespace mmtag::dsp

@@ -1,0 +1,56 @@
+// FIR filter design (windowed sinc) and streaming FIR filtering.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mmtag/common.hpp"
+#include "mmtag/dsp/window.hpp"
+
+namespace mmtag::dsp {
+
+/// Designs a linear-phase low-pass FIR via the windowed-sinc method.
+///
+/// `cutoff_norm` is the -6 dB cutoff as a fraction of the sample rate in
+/// (0, 0.5); `taps` must be odd so the filter has integer group delay.
+[[nodiscard]] rvec design_lowpass(double cutoff_norm, std::size_t taps,
+                                  window_kind window = window_kind::hamming);
+
+/// High-pass complement of design_lowpass (spectral inversion); `taps` odd.
+[[nodiscard]] rvec design_highpass(double cutoff_norm, std::size_t taps,
+                                   window_kind window = window_kind::hamming);
+
+/// Band-pass between `low_norm` and `high_norm` (fractions of sample rate).
+[[nodiscard]] rvec design_bandpass(double low_norm, double high_norm, std::size_t taps,
+                                   window_kind window = window_kind::hamming);
+
+/// Streaming FIR filter over complex samples with persistent state, so a
+/// signal can be processed in arbitrary-size chunks.
+class fir_filter {
+public:
+    explicit fir_filter(rvec taps);
+
+    [[nodiscard]] std::size_t tap_count() const { return taps_.size(); }
+
+    /// Filters one sample.
+    [[nodiscard]] cf64 process(cf64 input);
+
+    /// Filters a block, returning one output per input.
+    [[nodiscard]] cvec process(std::span<const cf64> input);
+
+    /// Clears the delay line.
+    void reset();
+
+    /// Group delay in samples for linear-phase (symmetric) taps.
+    [[nodiscard]] double group_delay() const;
+
+private:
+    rvec taps_;
+    cvec delay_line_;
+    std::size_t head_ = 0;
+};
+
+/// Non-streaming convenience: filter a whole buffer with zero initial state.
+[[nodiscard]] cvec fir_apply(std::span<const double> taps, std::span<const cf64> input);
+
+} // namespace mmtag::dsp

@@ -1,0 +1,75 @@
+#include "mmtag/dsp/goertzel.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mmtag::dsp {
+
+goertzel::goertzel(double frequency_norm)
+{
+    if (!(frequency_norm >= 0.0 && frequency_norm < 1.0)) {
+        throw std::invalid_argument("goertzel: frequency must be in [0, 1)");
+    }
+    const double omega = two_pi * frequency_norm;
+    coefficient_ = 2.0 * std::cos(omega);
+    phasor_ = std::polar(1.0, omega);
+}
+
+void goertzel::process(cf64 sample)
+{
+    const cf64 s0 = sample + coefficient_ * s1_ - s2_;
+    s2_ = s1_;
+    s1_ = s0;
+    ++count_;
+}
+
+void goertzel::process(std::span<const cf64> samples)
+{
+    for (cf64 x : samples) process(x);
+}
+
+cf64 goertzel::bin() const
+{
+    // Standard completion step: X(f) = s1 - exp(-j w) s2, up to a phase
+    // reference at the final sample.
+    return s1_ - std::conj(phasor_) * s2_;
+}
+
+double goertzel::power() const
+{
+    if (count_ == 0) throw std::logic_error("goertzel: no samples consumed");
+    const double n = static_cast<double>(count_);
+    return std::norm(bin()) / (n * n);
+}
+
+void goertzel::reset()
+{
+    s1_ = cf64{};
+    s2_ = cf64{};
+    count_ = 0;
+}
+
+double goertzel_power(std::span<const cf64> samples, double frequency_norm)
+{
+    goertzel detector(frequency_norm);
+    detector.process(samples);
+    return detector.power();
+}
+
+std::size_t detect_tone(std::span<const cf64> samples,
+                        std::span<const double> candidate_frequencies,
+                        double threshold_power)
+{
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    double best_power = threshold_power;
+    for (std::size_t i = 0; i < candidate_frequencies.size(); ++i) {
+        const double power = goertzel_power(samples, candidate_frequencies[i]);
+        if (power >= best_power) {
+            best_power = power;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace mmtag::dsp

@@ -1,0 +1,52 @@
+// Goertzel single-bin DFT — the canonical low-power tone detector. A tag
+// MCU can run one Goertzel accumulator per candidate wake-up tone at a tiny
+// fraction of an FFT's cost; the AP uses it to monitor specific offsets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag::dsp {
+
+/// Streaming Goertzel accumulator for one normalized frequency
+/// (cycles/sample). Feed samples, then read the bin power; reset to reuse.
+class goertzel {
+public:
+    /// `frequency_norm` in [0, 1) as a fraction of the sample rate.
+    explicit goertzel(double frequency_norm);
+
+    void process(cf64 sample);
+    void process(std::span<const cf64> samples);
+
+    [[nodiscard]] std::size_t samples_consumed() const { return count_; }
+
+    /// Complex DFT bin value at the configured frequency for the samples
+    /// consumed since the last reset.
+    [[nodiscard]] cf64 bin() const;
+
+    /// |bin|^2 normalized by N^2 — mean power of a matching tone.
+    [[nodiscard]] double power() const;
+
+    void reset();
+
+private:
+    double coefficient_;
+    cf64 phasor_;
+    cf64 s1_{};
+    cf64 s2_{};
+    std::size_t count_ = 0;
+};
+
+/// One-shot: power of `samples` at `frequency_norm`.
+[[nodiscard]] double goertzel_power(std::span<const cf64> samples, double frequency_norm);
+
+/// Detects which (if any) of `candidate_frequencies` carries at least
+/// `threshold_power`; returns the index of the strongest qualifying tone or
+/// SIZE_MAX when none qualifies.
+[[nodiscard]] std::size_t detect_tone(std::span<const cf64> samples,
+                                      std::span<const double> candidate_frequencies,
+                                      double threshold_power);
+
+} // namespace mmtag::dsp

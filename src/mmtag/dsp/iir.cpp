@@ -1,0 +1,130 @@
+#include "mmtag/dsp/iir.hpp"
+
+#include <stdexcept>
+
+namespace mmtag::dsp {
+
+namespace {
+
+void check_norm_frequency(double f)
+{
+    if (!(f > 0.0 && f < 0.5)) {
+        throw std::invalid_argument("biquad design: normalized frequency must be in (0, 0.5)");
+    }
+}
+
+} // namespace
+
+biquad_coefficients design_biquad_lowpass(double cutoff_norm, double q)
+{
+    check_norm_frequency(cutoff_norm);
+    if (q <= 0.0) throw std::invalid_argument("biquad design: q must be > 0");
+    const double w0 = two_pi * cutoff_norm;
+    const double alpha = std::sin(w0) / (2.0 * q);
+    const double cw = std::cos(w0);
+    const double a0 = 1.0 + alpha;
+    biquad_coefficients c;
+    c.b0 = (1.0 - cw) / 2.0 / a0;
+    c.b1 = (1.0 - cw) / a0;
+    c.b2 = (1.0 - cw) / 2.0 / a0;
+    c.a1 = -2.0 * cw / a0;
+    c.a2 = (1.0 - alpha) / a0;
+    return c;
+}
+
+biquad_coefficients design_biquad_highpass(double cutoff_norm, double q)
+{
+    check_norm_frequency(cutoff_norm);
+    if (q <= 0.0) throw std::invalid_argument("biquad design: q must be > 0");
+    const double w0 = two_pi * cutoff_norm;
+    const double alpha = std::sin(w0) / (2.0 * q);
+    const double cw = std::cos(w0);
+    const double a0 = 1.0 + alpha;
+    biquad_coefficients c;
+    c.b0 = (1.0 + cw) / 2.0 / a0;
+    c.b1 = -(1.0 + cw) / a0;
+    c.b2 = (1.0 + cw) / 2.0 / a0;
+    c.a1 = -2.0 * cw / a0;
+    c.a2 = (1.0 - alpha) / a0;
+    return c;
+}
+
+biquad_coefficients design_biquad_notch(double center_norm, double q)
+{
+    check_norm_frequency(center_norm);
+    if (q <= 0.0) throw std::invalid_argument("biquad design: q must be > 0");
+    const double w0 = two_pi * center_norm;
+    const double alpha = std::sin(w0) / (2.0 * q);
+    const double cw = std::cos(w0);
+    const double a0 = 1.0 + alpha;
+    biquad_coefficients c;
+    c.b0 = 1.0 / a0;
+    c.b1 = -2.0 * cw / a0;
+    c.b2 = 1.0 / a0;
+    c.a1 = -2.0 * cw / a0;
+    c.a2 = (1.0 - alpha) / a0;
+    return c;
+}
+
+biquad::biquad(biquad_coefficients coefficients) : c_(coefficients) {}
+
+cf64 biquad::process(cf64 input)
+{
+    const cf64 output = c_.b0 * input + s1_;
+    s1_ = c_.b1 * input - c_.a1 * output + s2_;
+    s2_ = c_.b2 * input - c_.a2 * output;
+    return output;
+}
+
+void biquad::reset()
+{
+    s1_ = cf64{};
+    s2_ = cf64{};
+}
+
+biquad_cascade::biquad_cascade(std::vector<biquad_coefficients> sections)
+{
+    if (sections.empty()) throw std::invalid_argument("biquad_cascade: no sections");
+    sections_.reserve(sections.size());
+    for (const auto& c : sections) sections_.emplace_back(c);
+}
+
+cf64 biquad_cascade::process(cf64 input)
+{
+    cf64 x = input;
+    for (auto& section : sections_) x = section.process(x);
+    return x;
+}
+
+cvec biquad_cascade::process(std::span<const cf64> input)
+{
+    cvec out;
+    out.reserve(input.size());
+    for (cf64 x : input) out.push_back(process(x));
+    return out;
+}
+
+void biquad_cascade::reset()
+{
+    for (auto& section : sections_) section.reset();
+}
+
+biquad_cascade design_butterworth_lowpass(double cutoff_norm, std::size_t order)
+{
+    check_norm_frequency(cutoff_norm);
+    if (order == 0 || order % 2 != 0) {
+        throw std::invalid_argument("design_butterworth_lowpass: order must be even and >= 2");
+    }
+    // Each section realizes a conjugate pole pair of the Butterworth circle;
+    // Q_k = 1 / (2 sin((2k+1) pi / (2 order))).
+    std::vector<biquad_coefficients> sections;
+    const std::size_t pairs = order / 2;
+    for (std::size_t k = 0; k < pairs; ++k) {
+        const double angle = (2.0 * static_cast<double>(k) + 1.0) * pi / (2.0 * static_cast<double>(order));
+        const double q = 1.0 / (2.0 * std::sin(angle));
+        sections.push_back(design_biquad_lowpass(cutoff_norm, q));
+    }
+    return biquad_cascade{std::move(sections)};
+}
+
+} // namespace mmtag::dsp

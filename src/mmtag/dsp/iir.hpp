@@ -1,0 +1,61 @@
+// Biquad (second-order section) IIR filters and common designs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag::dsp {
+
+/// Normalized biquad coefficients (a0 == 1 implied):
+///   y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]
+struct biquad_coefficients {
+    double b0 = 1.0;
+    double b1 = 0.0;
+    double b2 = 0.0;
+    double a1 = 0.0;
+    double a2 = 0.0;
+};
+
+/// RBJ-cookbook low-pass biquad. `cutoff_norm` in (0, 0.5), `q` > 0.
+[[nodiscard]] biquad_coefficients design_biquad_lowpass(double cutoff_norm, double q = 0.7071);
+
+/// RBJ-cookbook high-pass biquad.
+[[nodiscard]] biquad_coefficients design_biquad_highpass(double cutoff_norm, double q = 0.7071);
+
+/// Notch at `center_norm` with the given quality factor.
+[[nodiscard]] biquad_coefficients design_biquad_notch(double center_norm, double q);
+
+/// One biquad section with transposed direct-form-II state.
+class biquad {
+public:
+    explicit biquad(biquad_coefficients coefficients);
+
+    [[nodiscard]] cf64 process(cf64 input);
+    void reset();
+
+private:
+    biquad_coefficients c_;
+    cf64 s1_{};
+    cf64 s2_{};
+};
+
+/// Cascade of biquads (e.g. a Butterworth built from sections).
+class biquad_cascade {
+public:
+    explicit biquad_cascade(std::vector<biquad_coefficients> sections);
+
+    [[nodiscard]] cf64 process(cf64 input);
+    [[nodiscard]] cvec process(std::span<const cf64> input);
+    void reset();
+    [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
+
+private:
+    std::vector<biquad> sections_;
+};
+
+/// Butterworth low-pass of even order `order` as a biquad cascade.
+[[nodiscard]] biquad_cascade design_butterworth_lowpass(double cutoff_norm, std::size_t order);
+
+} // namespace mmtag::dsp

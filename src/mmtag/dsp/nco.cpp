@@ -1,0 +1,49 @@
+#include "mmtag/dsp/nco.hpp"
+
+namespace mmtag::dsp {
+
+nco::nco(double frequency_norm, double initial_phase)
+    : frequency_(frequency_norm), phase_(wrap_phase(initial_phase))
+{
+}
+
+void nco::set_frequency(double frequency_norm)
+{
+    frequency_ = frequency_norm;
+}
+
+void nco::adjust_phase(double delta)
+{
+    phase_ = wrap_phase(phase_ + delta);
+}
+
+cf64 nco::step()
+{
+    const cf64 sample = std::polar(1.0, phase_);
+    phase_ = wrap_phase(phase_ + two_pi * frequency_);
+    return sample;
+}
+
+cvec nco::generate(std::size_t count)
+{
+    cvec out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(step());
+    return out;
+}
+
+cvec nco::mix(std::span<const cf64> input)
+{
+    cvec out;
+    out.reserve(input.size());
+    for (cf64 x : input) out.push_back(x * step());
+    return out;
+}
+
+cvec frequency_shift(std::span<const cf64> input, double frequency_norm, double initial_phase)
+{
+    nco oscillator(frequency_norm, initial_phase);
+    return oscillator.mix(input);
+}
+
+} // namespace mmtag::dsp

@@ -1,0 +1,44 @@
+// Numerically controlled oscillator and complex frequency shifting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag::dsp {
+
+/// Phase-accumulating complex oscillator. Frequency is given as a normalized
+/// value in cycles/sample (may be negative); phase stays wrapped so long runs
+/// never lose precision.
+class nco {
+public:
+    explicit nco(double frequency_norm = 0.0, double initial_phase = 0.0);
+
+    [[nodiscard]] double frequency() const { return frequency_; }
+    void set_frequency(double frequency_norm);
+
+    /// Adds `delta` radians to the current phase (PLL correction hook).
+    void adjust_phase(double delta);
+
+    [[nodiscard]] double phase() const { return phase_; }
+
+    /// Returns exp(j phase) and advances by one sample.
+    [[nodiscard]] cf64 step();
+
+    /// Generates `count` samples.
+    [[nodiscard]] cvec generate(std::size_t count);
+
+    /// Multiplies `input` by the oscillator (frequency shift), advancing state.
+    [[nodiscard]] cvec mix(std::span<const cf64> input);
+
+private:
+    double frequency_;
+    double phase_;
+};
+
+/// One-shot frequency shift of a buffer by `frequency_norm` cycles/sample.
+[[nodiscard]] cvec frequency_shift(std::span<const cf64> input, double frequency_norm,
+                                   double initial_phase = 0.0);
+
+} // namespace mmtag::dsp

@@ -1,0 +1,93 @@
+#include "mmtag/dsp/psd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mmtag/dsp/fft.hpp"
+
+namespace mmtag::dsp {
+
+double psd_estimate::band_power(double f_low_hz, double f_high_hz) const
+{
+    if (!(f_low_hz <= f_high_hz)) throw std::invalid_argument("band_power: inverted band");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < power.size(); ++i) {
+        if (frequency_hz[i] >= f_low_hz && frequency_hz[i] <= f_high_hz) acc += power[i];
+    }
+    return acc;
+}
+
+double psd_estimate::total_power() const
+{
+    double acc = 0.0;
+    for (double p : power) acc += p;
+    return acc;
+}
+
+double psd_estimate::occupied_bandwidth(double fraction, double center_hz) const
+{
+    if (!(fraction > 0.0 && fraction <= 1.0)) {
+        throw std::invalid_argument("occupied_bandwidth: fraction in (0, 1]");
+    }
+    const double target = fraction * total_power();
+    const double bin_width = sample_rate_hz / static_cast<double>(power.size());
+    // Grow a symmetric band around the center until it holds the target.
+    for (double half = bin_width; half <= sample_rate_hz; half += bin_width) {
+        if (band_power(center_hz - half, center_hz + half) >= target) return 2.0 * half;
+    }
+    return sample_rate_hz;
+}
+
+double psd_estimate::peak_frequency() const
+{
+    if (power.empty()) throw std::logic_error("psd_estimate: empty");
+    const auto it = std::max_element(power.begin(), power.end());
+    return frequency_hz[static_cast<std::size_t>(it - power.begin())];
+}
+
+psd_estimate welch_psd(std::span<const cf64> samples, const welch_config& cfg)
+{
+    if (!is_power_of_two(cfg.segment_length)) {
+        throw std::invalid_argument("welch_psd: segment length must be a power of two");
+    }
+    if (!(cfg.overlap >= 0.0 && cfg.overlap < 1.0)) {
+        throw std::invalid_argument("welch_psd: overlap must be in [0, 1)");
+    }
+    if (cfg.sample_rate_hz <= 0.0) throw std::invalid_argument("welch_psd: fs <= 0");
+    if (samples.size() < cfg.segment_length) {
+        throw std::invalid_argument("welch_psd: record shorter than one segment");
+    }
+
+    const std::size_t n = cfg.segment_length;
+    const auto hop = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(n) * (1.0 - cfg.overlap)));
+    const rvec window = make_window(cfg.window, n);
+    double window_power = 0.0;
+    for (double w : window) window_power += w * w;
+
+    const fft_plan plan(n);
+    rvec accumulated(n, 0.0);
+    std::size_t segments = 0;
+    cvec buffer(n);
+    for (std::size_t start = 0; start + n <= samples.size(); start += hop) {
+        for (std::size_t i = 0; i < n; ++i) buffer[i] = samples[start + i] * window[i];
+        plan.forward(buffer);
+        for (std::size_t k = 0; k < n; ++k) accumulated[k] += std::norm(buffer[k]);
+        ++segments;
+    }
+    const double scale = 1.0 / (static_cast<double>(segments) * window_power);
+    for (auto& p : accumulated) p *= scale;
+
+    psd_estimate out;
+    out.sample_rate_hz = cfg.sample_rate_hz;
+    out.power = fft_shift(accumulated);
+    out.frequency_hz.resize(n);
+    const double bin = cfg.sample_rate_hz / static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        out.frequency_hz[k] =
+            (static_cast<double>(k) - static_cast<double>(n / 2)) * bin;
+    }
+    return out;
+}
+
+} // namespace mmtag::dsp

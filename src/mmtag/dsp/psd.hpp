@@ -1,0 +1,47 @@
+// Power spectral density estimation: Welch's averaged modified periodogram,
+// plus helpers for reading out band power and occupied bandwidth. Used by
+// the spectrum-facing benches (line-code spectra, canceller residuals).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mmtag/common.hpp"
+#include "mmtag/dsp/window.hpp"
+
+namespace mmtag::dsp {
+
+struct welch_config {
+    std::size_t segment_length = 256; ///< power of two
+    double overlap = 0.5;             ///< fraction in [0, 1)
+    window_kind window = window_kind::hann;
+    double sample_rate_hz = 1.0;      ///< scales the frequency axis
+};
+
+struct psd_estimate {
+    rvec frequency_hz; ///< bin centers, DC-centered (negative..positive)
+    rvec power;        ///< linear power density per bin, same length
+    double sample_rate_hz = 1.0;
+
+    [[nodiscard]] std::size_t size() const { return power.size(); }
+
+    /// Total power in [f_low, f_high] (inclusive of overlapping bins).
+    [[nodiscard]] double band_power(double f_low_hz, double f_high_hz) const;
+
+    /// Total power across the estimate.
+    [[nodiscard]] double total_power() const;
+
+    /// Smallest symmetric-band width around `center_hz` containing
+    /// `fraction` of the total power (occupied bandwidth).
+    [[nodiscard]] double occupied_bandwidth(double fraction, double center_hz = 0.0) const;
+
+    /// Frequency of the strongest bin.
+    [[nodiscard]] double peak_frequency() const;
+};
+
+/// Welch PSD of a complex baseband record. The input is segmented with the
+/// configured overlap, windowed, transformed, and averaged; output is
+/// fftshifted so DC sits in the middle. Requires at least one full segment.
+[[nodiscard]] psd_estimate welch_psd(std::span<const cf64> samples, const welch_config& cfg);
+
+} // namespace mmtag::dsp

@@ -1,0 +1,91 @@
+#include "mmtag/dsp/resampler.hpp"
+
+#include <stdexcept>
+
+namespace mmtag::dsp {
+
+namespace {
+
+rvec anti_alias_taps(std::size_t factor, std::size_t taps_per_phase)
+{
+    if (factor == 0) throw std::invalid_argument("resampler: factor must be >= 1");
+    if (factor == 1) return rvec{1.0};
+    std::size_t taps = factor * taps_per_phase + 1;
+    if (taps % 2 == 0) ++taps;
+    // Cut slightly below the Nyquist edge of the slow rate to leave room for
+    // the filter transition band.
+    const double cutoff = 0.45 / static_cast<double>(factor);
+    return design_lowpass(cutoff, taps, window_kind::blackman);
+}
+
+} // namespace
+
+decimator::decimator(std::size_t factor, std::size_t taps_per_phase)
+    : factor_(factor), filter_(anti_alias_taps(factor, taps_per_phase))
+{
+}
+
+cvec decimator::process(std::span<const cf64> input)
+{
+    cvec out;
+    out.reserve(input.size() / factor_ + 1);
+    for (cf64 x : input) {
+        const cf64 filtered = filter_.process(x);
+        if (phase_ == 0) out.push_back(filtered);
+        phase_ = (phase_ + 1) % factor_;
+    }
+    return out;
+}
+
+void decimator::reset()
+{
+    filter_.reset();
+    phase_ = 0;
+}
+
+interpolator::interpolator(std::size_t factor, std::size_t taps_per_phase)
+    : factor_(factor), filter_(anti_alias_taps(factor, taps_per_phase))
+{
+}
+
+cvec interpolator::process(std::span<const cf64> input)
+{
+    cvec out;
+    out.reserve(input.size() * factor_);
+    const double gain = static_cast<double>(factor_); // restore amplitude after zero stuffing
+    for (cf64 x : input) {
+        out.push_back(filter_.process(x * gain));
+        for (std::size_t k = 1; k < factor_; ++k) out.push_back(filter_.process(cf64{}));
+    }
+    return out;
+}
+
+void interpolator::reset()
+{
+    filter_.reset();
+}
+
+rational_resampler::rational_resampler(std::size_t interpolation, std::size_t decimation,
+                                       std::size_t taps_per_phase)
+    : up_(interpolation, taps_per_phase), down_(decimation, taps_per_phase)
+{
+}
+
+double rational_resampler::rate() const
+{
+    return static_cast<double>(up_.factor()) / static_cast<double>(down_.factor());
+}
+
+cvec rational_resampler::process(std::span<const cf64> input)
+{
+    const cvec upsampled = up_.process(input);
+    return down_.process(upsampled);
+}
+
+void rational_resampler::reset()
+{
+    up_.reset();
+    down_.reset();
+}
+
+} // namespace mmtag::dsp

@@ -1,0 +1,58 @@
+// Integer decimation/interpolation and rational-rate polyphase resampling.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mmtag/common.hpp"
+#include "mmtag/dsp/fir.hpp"
+
+namespace mmtag::dsp {
+
+/// Anti-aliased decimator: low-pass at 0.5/factor then keep every factor-th
+/// sample.
+class decimator {
+public:
+    /// `factor` >= 1; `taps_per_phase` controls the anti-alias filter length.
+    explicit decimator(std::size_t factor, std::size_t taps_per_phase = 24);
+
+    [[nodiscard]] std::size_t factor() const { return factor_; }
+    [[nodiscard]] cvec process(std::span<const cf64> input);
+    void reset();
+
+private:
+    std::size_t factor_;
+    fir_filter filter_;
+    std::size_t phase_ = 0;
+};
+
+/// Zero-stuffing interpolator with anti-image low-pass.
+class interpolator {
+public:
+    explicit interpolator(std::size_t factor, std::size_t taps_per_phase = 24);
+
+    [[nodiscard]] std::size_t factor() const { return factor_; }
+    [[nodiscard]] cvec process(std::span<const cf64> input);
+    void reset();
+
+private:
+    std::size_t factor_;
+    fir_filter filter_;
+};
+
+/// Rational resampler: up by `interpolation`, down by `decimation`.
+class rational_resampler {
+public:
+    rational_resampler(std::size_t interpolation, std::size_t decimation,
+                       std::size_t taps_per_phase = 24);
+
+    [[nodiscard]] double rate() const;
+    [[nodiscard]] cvec process(std::span<const cf64> input);
+    void reset();
+
+private:
+    interpolator up_;
+    decimator down_;
+};
+
+} // namespace mmtag::dsp

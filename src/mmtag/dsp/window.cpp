@@ -1,0 +1,77 @@
+#include "mmtag/dsp/window.hpp"
+
+#include <stdexcept>
+
+namespace mmtag::dsp {
+
+namespace {
+
+// Generalized cosine window: w[n] = sum_k (-1)^k a[k] cos(2 pi k n / (N-1)).
+rvec cosine_window(std::span<const double> coefficients, std::size_t length)
+{
+    rvec window(length);
+    if (length == 1) {
+        window[0] = 1.0;
+        return window;
+    }
+    for (std::size_t n = 0; n < length; ++n) {
+        const double x = two_pi * static_cast<double>(n) / static_cast<double>(length - 1);
+        double value = 0.0;
+        double sign = 1.0;
+        for (std::size_t k = 0; k < coefficients.size(); ++k) {
+            value += sign * coefficients[k] * std::cos(static_cast<double>(k) * x);
+            sign = -sign;
+        }
+        window[n] = value;
+    }
+    return window;
+}
+
+} // namespace
+
+rvec make_window(window_kind kind, std::size_t length)
+{
+    if (length == 0) throw std::invalid_argument("make_window: length must be >= 1");
+    switch (kind) {
+    case window_kind::rectangular:
+        return rvec(length, 1.0);
+    case window_kind::hann: {
+        const double a[] = {0.5, 0.5};
+        return cosine_window(a, length);
+    }
+    case window_kind::hamming: {
+        const double a[] = {0.54, 0.46};
+        return cosine_window(a, length);
+    }
+    case window_kind::blackman: {
+        const double a[] = {0.42, 0.5, 0.08};
+        return cosine_window(a, length);
+    }
+    case window_kind::blackman_harris: {
+        const double a[] = {0.35875, 0.48829, 0.14128, 0.01168};
+        return cosine_window(a, length);
+    }
+    }
+    throw std::invalid_argument("make_window: unknown window kind");
+}
+
+double coherent_gain(std::span<const double> window)
+{
+    double sum = 0.0;
+    for (double w : window) sum += w;
+    return sum;
+}
+
+double noise_bandwidth_bins(std::span<const double> window)
+{
+    if (window.empty()) throw std::invalid_argument("noise_bandwidth_bins: empty window");
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double w : window) {
+        sum += w;
+        sum_sq += w * w;
+    }
+    return static_cast<double>(window.size()) * sum_sq / (sum * sum);
+}
+
+} // namespace mmtag::dsp

@@ -1,0 +1,28 @@
+// Spectral analysis / filter design window functions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag::dsp {
+
+enum class window_kind {
+    rectangular,
+    hann,
+    hamming,
+    blackman,
+    blackman_harris,
+};
+
+/// Generates a symmetric window of `length` samples (length >= 1).
+[[nodiscard]] rvec make_window(window_kind kind, std::size_t length);
+
+/// Sum of window coefficients; used to normalize windowed spectra.
+[[nodiscard]] double coherent_gain(std::span<const double> window);
+
+/// Equivalent noise bandwidth of a window in bins.
+[[nodiscard]] double noise_bandwidth_bins(std::span<const double> window);
+
+} // namespace mmtag::dsp

@@ -1,0 +1,69 @@
+#include "mmtag/fec/hamming.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace mmtag::fec {
+
+namespace {
+
+// Codeword layout [p1 p2 d1 p3 d2 d3 d4] with parity bits at positions
+// 1, 2, 4 (1-indexed), the classic systematic-ish Hamming arrangement.
+constexpr std::size_t block_n = 7;
+constexpr std::size_t block_k = 4;
+
+void encode_block(const std::uint8_t* data, std::uint8_t* code)
+{
+    const std::uint8_t d1 = data[0], d2 = data[1], d3 = data[2], d4 = data[3];
+    code[2] = d1;
+    code[4] = d2;
+    code[5] = d3;
+    code[6] = d4;
+    code[0] = static_cast<std::uint8_t>(d1 ^ d2 ^ d4); // p1 covers 1,3,5,7
+    code[1] = static_cast<std::uint8_t>(d1 ^ d3 ^ d4); // p2 covers 2,3,6,7
+    code[3] = static_cast<std::uint8_t>(d2 ^ d3 ^ d4); // p3 covers 4,5,6,7
+}
+
+} // namespace
+
+std::vector<std::uint8_t> hamming74_encode(std::span<const std::uint8_t> bits)
+{
+    std::vector<std::uint8_t> padded(bits.begin(), bits.end());
+    while (padded.size() % block_k != 0) padded.push_back(0);
+    std::vector<std::uint8_t> out(padded.size() / block_k * block_n);
+    for (std::size_t block = 0; block < padded.size() / block_k; ++block) {
+        encode_block(&padded[block * block_k], &out[block * block_n]);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> hamming74_decode(std::span<const std::uint8_t> bits,
+                                           std::size_t* corrected_errors)
+{
+    if (bits.size() % block_n != 0) {
+        throw std::invalid_argument("hamming74_decode: length must be a multiple of 7");
+    }
+    std::size_t corrections = 0;
+    std::vector<std::uint8_t> out;
+    out.reserve(bits.size() / block_n * block_k);
+    for (std::size_t block = 0; block < bits.size() / block_n; ++block) {
+        std::uint8_t c[block_n];
+        for (std::size_t i = 0; i < block_n; ++i) c[i] = bits[block * block_n + i] & 1u;
+        const std::uint8_t s1 = static_cast<std::uint8_t>(c[0] ^ c[2] ^ c[4] ^ c[6]);
+        const std::uint8_t s2 = static_cast<std::uint8_t>(c[1] ^ c[2] ^ c[5] ^ c[6]);
+        const std::uint8_t s3 = static_cast<std::uint8_t>(c[3] ^ c[4] ^ c[5] ^ c[6]);
+        const unsigned syndrome = static_cast<unsigned>(s1 | (s2 << 1) | (s3 << 2));
+        if (syndrome != 0) {
+            c[syndrome - 1] ^= 1u;
+            ++corrections;
+        }
+        out.push_back(c[2]);
+        out.push_back(c[4]);
+        out.push_back(c[5]);
+        out.push_back(c[6]);
+    }
+    if (corrected_errors != nullptr) *corrected_errors = corrections;
+    return out;
+}
+
+} // namespace mmtag::fec

@@ -1,0 +1,21 @@
+// Hamming(7,4) block code — single-error-correcting, used for the frame
+// header where Viterbi latency is not worth paying.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mmtag::fec {
+
+/// Encodes a bit vector (0/1 values, length multiple of 4 — padded with zeros
+/// otherwise) into Hamming(7,4) codewords.
+[[nodiscard]] std::vector<std::uint8_t> hamming74_encode(std::span<const std::uint8_t> bits);
+
+/// Decodes Hamming(7,4) codewords, correcting up to one bit error per
+/// 7-bit block. `corrected_errors`, when non-null, receives the number of
+/// corrections applied. Input length must be a multiple of 7.
+[[nodiscard]] std::vector<std::uint8_t> hamming74_decode(std::span<const std::uint8_t> bits,
+                                                         std::size_t* corrected_errors = nullptr);
+
+} // namespace mmtag::fec

@@ -1,0 +1,74 @@
+#include "mmtag/fec/interleaver.hpp"
+
+#include <stdexcept>
+
+namespace mmtag::fec {
+
+block_interleaver::block_interleaver(std::size_t rows, std::size_t columns)
+    : rows_(rows), columns_(columns)
+{
+    if (rows == 0 || columns == 0) {
+        throw std::invalid_argument("block_interleaver: rows and columns must be >= 1");
+    }
+}
+
+std::vector<std::uint8_t> block_interleaver::interleave(std::span<const std::uint8_t> bits) const
+{
+    const std::size_t block = block_size();
+    const std::size_t blocks = (bits.size() + block - 1) / block;
+    std::vector<std::uint8_t> padded(bits.begin(), bits.end());
+    padded.resize(blocks * block, 0);
+    std::vector<std::uint8_t> out(padded.size());
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t base = b * block;
+        std::size_t write = 0;
+        for (std::size_t col = 0; col < columns_; ++col) {
+            for (std::size_t row = 0; row < rows_; ++row) {
+                out[base + write++] = padded[base + row * columns_ + col];
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> block_interleaver::deinterleave(std::span<const std::uint8_t> bits) const
+{
+    const std::size_t block = block_size();
+    if (bits.size() % block != 0) {
+        throw std::invalid_argument("block_interleaver: length must be a multiple of block size");
+    }
+    std::vector<std::uint8_t> out(bits.size());
+    const std::size_t blocks = bits.size() / block;
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t base = b * block;
+        std::size_t read = 0;
+        for (std::size_t col = 0; col < columns_; ++col) {
+            for (std::size_t row = 0; row < rows_; ++row) {
+                out[base + row * columns_ + col] = bits[base + read++];
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double> block_interleaver::deinterleave_soft(std::span<const double> values) const
+{
+    const std::size_t block = block_size();
+    if (values.size() % block != 0) {
+        throw std::invalid_argument("block_interleaver: length must be a multiple of block size");
+    }
+    std::vector<double> out(values.size());
+    const std::size_t blocks = values.size() / block;
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t base = b * block;
+        std::size_t read = 0;
+        for (std::size_t col = 0; col < columns_; ++col) {
+            for (std::size_t row = 0; row < rows_; ++row) {
+                out[base + row * columns_ + col] = values[base + read++];
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mmtag::fec

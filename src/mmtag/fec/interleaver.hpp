@@ -1,0 +1,33 @@
+// Block (row/column) interleaver to spread burst errors — switching
+// transients and fading dips hit consecutive symbols, which a convolutional
+// code alone handles poorly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mmtag::fec {
+
+/// Row-in/column-out block interleaver over a rows x columns matrix.
+/// Inputs whose length is not a multiple of rows*columns are zero-padded;
+/// deinterleave returns the padded length (callers truncate by context).
+class block_interleaver {
+public:
+    block_interleaver(std::size_t rows, std::size_t columns);
+
+    [[nodiscard]] std::size_t block_size() const { return rows_ * columns_; }
+
+    [[nodiscard]] std::vector<std::uint8_t> interleave(std::span<const std::uint8_t> bits) const;
+    [[nodiscard]] std::vector<std::uint8_t> deinterleave(std::span<const std::uint8_t> bits) const;
+
+    /// Soft-value variants for decoder front-ends.
+    [[nodiscard]] std::vector<double> deinterleave_soft(std::span<const double> values) const;
+
+private:
+    std::size_t rows_;
+    std::size_t columns_;
+};
+
+} // namespace mmtag::fec

@@ -1,0 +1,53 @@
+#include "mmtag/fec/repetition.hpp"
+
+#include <stdexcept>
+
+namespace mmtag::fec {
+
+std::vector<std::uint8_t> repetition_encode(std::span<const std::uint8_t> bits, std::size_t factor)
+{
+    if (factor == 0) throw std::invalid_argument("repetition_encode: factor must be >= 1");
+    std::vector<std::uint8_t> out;
+    out.reserve(bits.size() * factor);
+    for (std::uint8_t bit : bits) {
+        for (std::size_t k = 0; k < factor; ++k) out.push_back(bit & 1u);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> repetition_decode(std::span<const std::uint8_t> bits, std::size_t factor)
+{
+    if (factor == 0 || factor % 2 == 0) {
+        throw std::invalid_argument("repetition_decode: factor must be odd");
+    }
+    if (bits.size() % factor != 0) {
+        throw std::invalid_argument("repetition_decode: length must be a multiple of factor");
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(bits.size() / factor);
+    for (std::size_t i = 0; i < bits.size(); i += factor) {
+        std::size_t ones = 0;
+        for (std::size_t k = 0; k < factor; ++k) ones += bits[i + k] & 1u;
+        out.push_back(ones * 2 > factor ? 1 : 0);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> repetition_decode_soft(std::span<const double> soft_bits,
+                                                 std::size_t factor)
+{
+    if (factor == 0) throw std::invalid_argument("repetition_decode_soft: factor must be >= 1");
+    if (soft_bits.size() % factor != 0) {
+        throw std::invalid_argument("repetition_decode_soft: length must be a multiple of factor");
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(soft_bits.size() / factor);
+    for (std::size_t i = 0; i < soft_bits.size(); i += factor) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < factor; ++k) acc += soft_bits[i + k];
+        out.push_back(acc < 0.0 ? 1 : 0);
+    }
+    return out;
+}
+
+} // namespace mmtag::fec

@@ -1,0 +1,25 @@
+// Repetition code — the fallback rate for deep-fade / long-range operation
+// and the simplest possible tag-side redundancy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mmtag::fec {
+
+/// Repeats each bit `factor` times (factor >= 1).
+[[nodiscard]] std::vector<std::uint8_t> repetition_encode(std::span<const std::uint8_t> bits,
+                                                          std::size_t factor);
+
+/// Majority-vote decode; `factor` must be odd so votes cannot tie, and the
+/// input length must be a multiple of factor.
+[[nodiscard]] std::vector<std::uint8_t> repetition_decode(std::span<const std::uint8_t> bits,
+                                                          std::size_t factor);
+
+/// Soft combining decode: sums soft values (sign => bit, positive = 0).
+[[nodiscard]] std::vector<std::uint8_t> repetition_decode_soft(std::span<const double> soft_bits,
+                                                               std::size_t factor);
+
+} // namespace mmtag::fec

@@ -1,0 +1,74 @@
+#include "mmtag/mac/arq.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmtag::mac {
+
+double arq_stats::delivery_ratio() const
+{
+    if (frames_offered == 0) return 0.0;
+    return static_cast<double>(frames_delivered) / static_cast<double>(frames_offered);
+}
+
+double arq_stats::transmission_efficiency() const
+{
+    if (transmissions == 0) return 0.0;
+    return static_cast<double>(frames_delivered) / static_cast<double>(transmissions);
+}
+
+double arq_stats::goodput_bps(double payload_bits) const
+{
+    if (airtime_s <= 0.0) return 0.0;
+    return static_cast<double>(frames_delivered) * payload_bits / airtime_s;
+}
+
+stop_and_wait_arq::stop_and_wait_arq(const arq_config& cfg) : cfg_(cfg)
+{
+    if (cfg.max_retries == 0) throw std::invalid_argument("arq: max_retries must be >= 1");
+    if (cfg.frame_time_s <= 0.0 || cfg.ack_time_s < 0.0) {
+        throw std::invalid_argument("arq: invalid timing");
+    }
+}
+
+arq_stats stop_and_wait_arq::run(std::size_t frame_count, double frame_success,
+                                 std::uint64_t seed) const
+{
+    if (!(frame_success >= 0.0 && frame_success <= 1.0)) {
+        throw std::invalid_argument("arq: frame_success must be in [0, 1]");
+    }
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+    arq_stats stats;
+    stats.frames_offered = frame_count;
+    for (std::size_t f = 0; f < frame_count; ++f) {
+        for (std::size_t attempt = 0; attempt < cfg_.max_retries; ++attempt) {
+            ++stats.transmissions;
+            stats.airtime_s += cfg_.frame_time_s + cfg_.ack_time_s;
+            if (uniform(rng) < frame_success) {
+                ++stats.frames_delivered;
+                break;
+            }
+        }
+    }
+    return stats;
+}
+
+double stop_and_wait_arq::expected_transmissions(double frame_success) const
+{
+    if (!(frame_success > 0.0 && frame_success <= 1.0)) {
+        throw std::invalid_argument("arq: frame_success must be in (0, 1]");
+    }
+    // Truncated-geometric mean: sum_{k=1..R} k p (1-p)^(k-1) + R (1-p)^R.
+    const double p = frame_success;
+    const double r = static_cast<double>(cfg_.max_retries);
+    double expectation = 0.0;
+    for (std::size_t k = 1; k <= cfg_.max_retries; ++k) {
+        expectation += static_cast<double>(k) * p * std::pow(1.0 - p, static_cast<double>(k - 1));
+    }
+    expectation += r * std::pow(1.0 - p, r);
+    return expectation;
+}
+
+} // namespace mmtag::mac

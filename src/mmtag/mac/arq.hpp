@@ -1,0 +1,47 @@
+// Stop-and-wait ARQ over the backscatter uplink: the AP re-queries a tag
+// until a frame passes CRC. Simple, and the right fit for a half-duplex
+// query/response link where the AP controls every transmission anyway.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+
+namespace mmtag::mac {
+
+struct arq_config {
+    std::size_t max_retries = 8; ///< attempts per frame before giving up
+    double frame_time_s = 300e-6;
+    double ack_time_s = 20e-6;   ///< re-query / implicit ACK airtime
+};
+
+struct arq_stats {
+    std::size_t frames_offered = 0;
+    std::size_t frames_delivered = 0;
+    std::size_t transmissions = 0;
+    double airtime_s = 0.0;
+
+    [[nodiscard]] double delivery_ratio() const;
+    /// Delivered frames per transmission (1.0 = never retransmits).
+    [[nodiscard]] double transmission_efficiency() const;
+    /// Goodput for `payload_bits` per frame.
+    [[nodiscard]] double goodput_bps(double payload_bits) const;
+};
+
+class stop_and_wait_arq {
+public:
+    explicit stop_and_wait_arq(const arq_config& cfg = {});
+
+    /// Simulates `frame_count` frames over a link whose per-attempt frame
+    /// success probability is `frame_success`.
+    [[nodiscard]] arq_stats run(std::size_t frame_count, double frame_success,
+                                std::uint64_t seed) const;
+
+    /// Expected transmissions per delivered frame: 1/p (capped by retries).
+    [[nodiscard]] double expected_transmissions(double frame_success) const;
+
+private:
+    arq_config cfg_;
+};
+
+} // namespace mmtag::mac

@@ -1,0 +1,52 @@
+#include "mmtag/mac/tdma.hpp"
+
+#include <stdexcept>
+
+namespace mmtag::mac {
+
+tdma_scheduler::tdma_scheduler(const tdma_config& cfg) : cfg_(cfg)
+{
+    if (cfg.phy_rate_bps <= 0.0) throw std::invalid_argument("tdma: phy rate must be > 0");
+    if (cfg.frame_payload_bytes == 0) throw std::invalid_argument("tdma: empty payload");
+    if (cfg.query_time_s < 0.0 || cfg.turnaround_s < 0.0 || cfg.guard_time_s < 0.0) {
+        throw std::invalid_argument("tdma: negative timing parameter");
+    }
+}
+
+double tdma_scheduler::slot_duration_s() const
+{
+    const double payload_bits = static_cast<double>(cfg_.frame_payload_bytes) * 8.0;
+    const double burst_s =
+        (payload_bits + static_cast<double>(cfg_.overhead_bits)) / cfg_.phy_rate_bps;
+    return cfg_.query_time_s + cfg_.turnaround_s + burst_s + cfg_.guard_time_s;
+}
+
+std::vector<tdma_slot> tdma_scheduler::build_cycle(
+    const std::vector<std::uint32_t>& tag_ids) const
+{
+    std::vector<tdma_slot> cycle;
+    cycle.reserve(tag_ids.size());
+    const double slot = slot_duration_s();
+    double t = 0.0;
+    for (std::uint32_t id : tag_ids) {
+        cycle.push_back({id, t, slot});
+        t += slot;
+    }
+    return cycle;
+}
+
+tdma_metrics tdma_scheduler::metrics(std::size_t tag_count) const
+{
+    if (tag_count == 0) throw std::invalid_argument("tdma: tag_count must be >= 1");
+    tdma_metrics m;
+    const double slot = slot_duration_s();
+    m.cycle_time_s = slot * static_cast<double>(tag_count);
+    const double payload_bits = static_cast<double>(cfg_.frame_payload_bytes) * 8.0;
+    m.per_tag_goodput_bps = payload_bits / m.cycle_time_s;
+    m.aggregate_goodput_bps = payload_bits / slot;
+    const double payload_airtime = payload_bits / cfg_.phy_rate_bps;
+    m.channel_utilization = payload_airtime / slot;
+    return m;
+}
+
+} // namespace mmtag::mac

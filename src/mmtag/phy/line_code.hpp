@@ -1,0 +1,55 @@
+// Backscatter line codes: FM0 and Miller-M subcarrier encoding.
+//
+// Plain NRZ load modulation concentrates its spectrum at DC — exactly where
+// the AP's self-interference lives. FM0 guarantees a transition at every bit
+// boundary (spectral null at DC); Miller-M further multiplies each bit by M
+// subcarrier cycles, moving the main lobe to M x bit rate, which lets even a
+// simple DC notch coexist with the tag's spectrum. This is the classic
+// backscatter trade: M x more switch transitions (energy) for interference
+// headroom. The R15 bench quantifies both sides.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag::phy {
+
+enum class line_code {
+    nrz,      ///< plain antipodal bits, 1 chip/bit
+    fm0,      ///< bi-phase space: invert at every boundary, mid-bit for 0
+    miller2,  ///< Miller baseband x 2 subcarrier cycles (4 chips/bit)
+    miller4,  ///< Miller baseband x 4 subcarrier cycles (8 chips/bit)
+};
+
+[[nodiscard]] const char* line_code_name(line_code code);
+
+/// Chips produced per data bit.
+[[nodiscard]] std::size_t chips_per_bit(line_code code);
+
+/// Encodes bits (0/1) into +-1 chips. FM0/Miller are stateful across bits;
+/// the encoder starts from the conventional +1 phase.
+[[nodiscard]] std::vector<int> encode_line_code(std::span<const std::uint8_t> bits,
+                                                line_code code);
+
+/// Decodes +-1 (or soft, sign-meaningful) chips back into bits. The chip
+/// stream must be bit-aligned and of whole-bit length. Decoding correlates
+/// each bit window against both transmit hypotheses given the encoder state,
+/// so isolated chip errors do not propagate.
+[[nodiscard]] std::vector<std::uint8_t> decode_line_code(std::span<const double> chips,
+                                                         line_code code);
+
+/// Fraction of the coded waveform's power within +-`band_fraction` of DC
+/// (band_fraction relative to the chip rate). The figure of merit the DC
+/// notch cares about.
+[[nodiscard]] double dc_power_fraction(line_code code, double band_fraction,
+                                       std::size_t probe_bits = 4096,
+                                       std::uint64_t seed = 1);
+
+/// Average switch transitions per data bit for random data (energy cost).
+[[nodiscard]] double transitions_per_bit(line_code code, std::size_t probe_bits = 4096,
+                                         std::uint64_t seed = 2);
+
+} // namespace mmtag::phy

@@ -1,0 +1,50 @@
+#include "mmtag/phy/preamble.hpp"
+
+#include "mmtag/dsp/pn_sequence.hpp"
+
+namespace mmtag::phy {
+
+cvec make_preamble(const preamble_layout& layout)
+{
+    cvec symbols;
+    symbols.reserve(layout.total_symbols());
+    for (std::size_t i = 0; i < layout.agc_symbols; ++i) {
+        symbols.emplace_back(i % 2 == 0 ? 1.0 : -1.0, 0.0);
+    }
+    const cvec sync = sync_word(layout);
+    symbols.insert(symbols.end(), sync.begin(), sync.end());
+    return symbols;
+}
+
+cvec sync_word(const preamble_layout& layout)
+{
+    const auto bits = dsp::m_sequence(static_cast<std::uint32_t>(layout.sync_degree));
+    return dsp::bits_to_bpsk(bits);
+}
+
+std::optional<sync_result> detect_preamble(std::span<const cf64> symbols,
+                                           const preamble_layout& layout,
+                                           double min_peak_to_sidelobe)
+{
+    const cvec reference = sync_word(layout);
+    if (symbols.size() < reference.size()) return std::nullopt;
+    const rvec correlation = dsp::correlate_magnitude(symbols, reference);
+    double quality = 0.0;
+    const std::size_t sync_start = dsp::correlation_peak(correlation, &quality);
+    if (quality < min_peak_to_sidelobe) return std::nullopt;
+
+    // Complex gain over the sync word: least squares against the reference.
+    cf64 cross{};
+    double reference_power = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        cross += symbols[sync_start + i] * std::conj(reference[i]);
+        reference_power += std::norm(reference[i]);
+    }
+    sync_result result;
+    result.frame_start = sync_start + reference.size();
+    result.peak_to_sidelobe = quality;
+    result.channel_gain = cross / reference_power;
+    return result;
+}
+
+} // namespace mmtag::phy

@@ -1,0 +1,84 @@
+#include "mmtag/rf/amplifier.hpp"
+
+#include <stdexcept>
+
+#include "mmtag/rf/noise.hpp"
+
+namespace mmtag::rf {
+
+// Signals are complex baseband voltages across a 1-ohm reference, so
+// instantaneous power is |x|^2 watts.
+
+lna::lna(const config& cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed)
+{
+    if (cfg.bandwidth_hz <= 0.0) throw std::invalid_argument("lna: bandwidth <= 0");
+    if (cfg.noise_figure_db < 0.0) throw std::invalid_argument("lna: noise figure < 0");
+    voltage_gain_ = std::pow(10.0, cfg.gain_db / 20.0);
+    noise_sigma_ = std::sqrt(input_referred_noise_power() / 2.0);
+}
+
+double lna::input_referred_noise_power() const
+{
+    const double noise_factor = from_db(cfg_.noise_figure_db);
+    return (noise_factor - 1.0) *
+           thermal_noise_power(cfg_.bandwidth_hz, cfg_.temperature_kelvin);
+}
+
+cf64 lna::process(cf64 input)
+{
+    const cf64 noise{noise_sigma_ * gaussian_(rng_), noise_sigma_ * gaussian_(rng_)};
+    return voltage_gain_ * (input + noise);
+}
+
+cvec lna::process(std::span<const cf64> input)
+{
+    cvec out;
+    out.reserve(input.size());
+    for (cf64 x : input) out.push_back(process(x));
+    return out;
+}
+
+power_amplifier::power_amplifier(const config& cfg) : cfg_(cfg)
+{
+    if (cfg.smoothness <= 0.0) throw std::invalid_argument("power_amplifier: smoothness <= 0");
+    voltage_gain_ = std::pow(10.0, cfg.gain_db / 20.0);
+    saturation_amplitude_ = std::sqrt(dbm_to_watt(cfg.output_saturation_dbm));
+}
+
+cf64 power_amplifier::process(cf64 input) const
+{
+    const double amplitude = std::abs(input);
+    if (amplitude < 1e-30) return cf64{};
+    const double driven = voltage_gain_ * amplitude;
+    const double ratio = driven / saturation_amplitude_;
+    const double p2 = 2.0 * cfg_.smoothness;
+    const double compressed = driven / std::pow(1.0 + std::pow(ratio, p2), 1.0 / p2);
+    return input * (compressed / amplitude);
+}
+
+cvec power_amplifier::process(std::span<const cf64> input) const
+{
+    cvec out;
+    out.reserve(input.size());
+    for (cf64 x : input) out.push_back(process(x));
+    return out;
+}
+
+double power_amplifier::output_power_dbm(double input_dbm) const
+{
+    const double amplitude = std::sqrt(dbm_to_watt(input_dbm));
+    const cf64 out = process(cf64{amplitude, 0.0});
+    return watt_to_dbm(std::norm(out));
+}
+
+double power_amplifier::input_p1db_dbm() const
+{
+    // Solve Rapp compression == 1 dB: (1 + r^2p)^(1/2p) = 10^(1/20).
+    const double p2 = 2.0 * cfg_.smoothness;
+    const double target = std::pow(10.0, p2 / 20.0) - 1.0;
+    const double ratio = std::pow(target, 1.0 / p2);
+    const double input_amplitude = ratio * saturation_amplitude_ / voltage_gain_;
+    return watt_to_dbm(input_amplitude * input_amplitude);
+}
+
+} // namespace mmtag::rf

@@ -1,0 +1,71 @@
+// Amplifier models: linear gain + additive noise referred to the input (LNA)
+// and Rapp soft-saturation nonlinearity (PA).
+#pragma once
+
+#include <random>
+#include <span>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag::rf {
+
+/// Low-noise amplifier: applies voltage gain and adds noise equivalent to its
+/// noise figure over the simulation bandwidth.
+class lna {
+public:
+    struct config {
+        double gain_db = 20.0;
+        double noise_figure_db = 3.0;
+        double bandwidth_hz = 1e9; ///< noise bandwidth of the simulation
+        double temperature_kelvin = t0_kelvin;
+    };
+
+    lna(const config& cfg, std::uint64_t seed);
+
+    [[nodiscard]] double gain_db() const { return cfg_.gain_db; }
+    [[nodiscard]] double noise_figure_db() const { return cfg_.noise_figure_db; }
+
+    /// Added-noise power at the *input* reference plane [W].
+    [[nodiscard]] double input_referred_noise_power() const;
+
+    [[nodiscard]] cf64 process(cf64 input);
+    [[nodiscard]] cvec process(std::span<const cf64> input);
+
+private:
+    config cfg_;
+    double voltage_gain_;
+    double noise_sigma_;
+    std::mt19937_64 rng_;
+    std::normal_distribution<double> gaussian_{0.0, 1.0};
+};
+
+/// Power amplifier with the Rapp AM/AM model:
+///   g(a) = G a / (1 + (G a / A_sat)^(2p))^(1/2p)
+/// AM/PM is assumed negligible (solid-state PA).
+class power_amplifier {
+public:
+    struct config {
+        double gain_db = 30.0;
+        double output_saturation_dbm = 30.0; ///< saturated output power
+        double smoothness = 2.0;             ///< Rapp p factor
+    };
+
+    explicit power_amplifier(const config& cfg);
+
+    [[nodiscard]] cf64 process(cf64 input) const;
+    [[nodiscard]] cvec process(std::span<const cf64> input) const;
+
+    /// Output power [dBm] for a CW input of `input_dbm` — for compression
+    /// curve characterization.
+    [[nodiscard]] double output_power_dbm(double input_dbm) const;
+
+    /// Input power at which gain drops 1 dB below small-signal gain.
+    [[nodiscard]] double input_p1db_dbm() const;
+
+private:
+    config cfg_;
+    double voltage_gain_;
+    double saturation_amplitude_; // volts across 1 ohm reference
+};
+
+} // namespace mmtag::rf

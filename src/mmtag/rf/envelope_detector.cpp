@@ -1,0 +1,54 @@
+#include "mmtag/rf/envelope_detector.hpp"
+
+#include <stdexcept>
+
+namespace mmtag::rf {
+
+envelope_detector::envelope_detector(const config& cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+    if (cfg.sample_rate_hz <= 0.0) throw std::invalid_argument("envelope_detector: fs <= 0");
+    if (cfg.video_bandwidth_hz <= 0.0 || cfg.video_bandwidth_hz > cfg.sample_rate_hz / 2.0) {
+        throw std::invalid_argument("envelope_detector: video bandwidth out of range");
+    }
+    if (cfg.responsivity_v_per_w <= 0.0) {
+        throw std::invalid_argument("envelope_detector: responsivity must be > 0");
+    }
+    // Single-pole IIR matching the video bandwidth corner.
+    filter_alpha_ = 1.0 - std::exp(-two_pi * cfg.video_bandwidth_hz / cfg.sample_rate_hz);
+}
+
+rvec envelope_detector::detect(std::span<const cf64> rf)
+{
+    const double noise_sigma_volts =
+        cfg_.noise_equivalent_power_w * cfg_.responsivity_v_per_w;
+    rvec out;
+    out.reserve(rf.size());
+    for (cf64 x : rf) {
+        const double power = std::norm(x); // square-law detection
+        double voltage = cfg_.responsivity_v_per_w * power;
+        voltage += noise_sigma_volts * gaussian_(rng_);
+        state_ += filter_alpha_ * (voltage - state_);
+        out.push_back(state_);
+    }
+    return out;
+}
+
+std::vector<bool> envelope_detector::threshold(std::span<const double> voltage, double on_volts,
+                                               double off_volts) const
+{
+    if (!(off_volts <= on_volts)) {
+        throw std::invalid_argument("envelope_detector: off threshold must be <= on threshold");
+    }
+    std::vector<bool> detected;
+    detected.reserve(voltage.size());
+    bool on = false;
+    for (double v : voltage) {
+        if (!on && v >= on_volts) on = true;
+        else if (on && v < off_volts) on = false;
+        detected.push_back(on);
+    }
+    return detected;
+}
+
+} // namespace mmtag::rf

@@ -1,0 +1,58 @@
+// RF switch model (SPDT/SP4T class, e.g. ADRF5020-style parts). The switch
+// is the tag's only fast active component: it selects which termination the
+// antenna port sees. Finite rise/fall time smears symbol transitions and
+// caps the achievable symbol rate; each transition costs charge, which sets
+// the rate-dependent part of the tag's power draw.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag::rf {
+
+class rf_switch {
+public:
+    struct config {
+        std::size_t throw_count = 4;       ///< SPDT = 2, SP4T = 4
+        double insertion_loss_db = 1.5;    ///< loss through the selected path
+        double isolation_db = 40.0;        ///< leakage from unselected paths
+        double rise_fall_time_s = 2e-9;    ///< 10-90% switching time
+        double energy_per_transition_j = 30e-12;
+        double static_power_w = 0.5e-3;    ///< driver quiescent power
+    };
+
+    explicit rf_switch(const config& cfg);
+
+    [[nodiscard]] const config& parameters() const { return cfg_; }
+
+    /// Highest toggle rate the switch supports (one transition per symbol):
+    /// the transition must fit inside ~half a symbol.
+    [[nodiscard]] double max_symbol_rate_hz() const;
+
+    /// Converts a per-symbol port-state sequence into a per-sample complex
+    /// path coefficient, given each port's reflection coefficient. Transitions
+    /// follow a raised-cosine ramp lasting `rise_fall_time_s` (quantized to
+    /// samples at `sample_rate_hz`). Insertion loss scales all coefficients;
+    /// isolation leaks a fraction of the mean of unselected ports.
+    [[nodiscard]] cvec state_waveform(std::span<const std::size_t> states,
+                                      std::span<const cf64> port_coefficients,
+                                      std::size_t samples_per_symbol,
+                                      double sample_rate_hz) const;
+
+    /// Number of state changes in a symbol sequence.
+    [[nodiscard]] static std::size_t count_transitions(std::span<const std::size_t> states);
+
+    /// Energy consumed by the switch for `transitions` changes over `duration_s`.
+    [[nodiscard]] double energy_consumed_j(std::size_t transitions, double duration_s) const;
+
+    /// Average power when toggling at `toggle_rate_hz` transitions/second.
+    [[nodiscard]] double average_power_w(double toggle_rate_hz) const;
+
+private:
+    config cfg_;
+};
+
+} // namespace mmtag::rf

@@ -1,0 +1,78 @@
+#include "mmtag/tag/addressable_tag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmtag::tag {
+
+addressable_tag::addressable_tag(const config& cfg)
+    : cfg_(cfg), modulator_(cfg.modulator), detector_(cfg.detector, cfg.seed),
+      decoder_(cfg.decoder)
+{
+    if (cfg.turnaround_s < 0.0) throw std::invalid_argument("addressable_tag: turnaround < 0");
+    if (cfg.detector.sample_rate_hz != cfg.modulator.sample_rate_hz) {
+        throw std::invalid_argument("addressable_tag: detector/modulator sample rates differ");
+    }
+}
+
+bool addressable_tag::addressed_by(const ap::tag_command& cmd) const
+{
+    return cmd.tag_id == cfg_.tag_id;
+}
+
+void addressable_tag::apply_command(const ap::tag_command& cmd)
+{
+    switch (cmd.command) {
+    case ap::tag_command::kind::query_all:
+        // New round: everyone wakes and deselects.
+        selected_ = false;
+        muted_ = false;
+        break;
+    case ap::tag_command::kind::select:
+        selected_ = addressed_by(cmd);
+        break;
+    case ap::tag_command::kind::sleep:
+        if (addressed_by(cmd)) {
+            muted_ = true;
+            selected_ = false;
+        }
+        break;
+    case ap::tag_command::kind::read:
+        break; // handled by the caller (needs timing)
+    }
+}
+
+addressable_tag::reaction addressable_tag::process(std::span<const cf64> incident,
+                                                   std::span<const std::uint8_t> payload)
+{
+    reaction result;
+    const cf64 absorb = modulator_.bank().gammas()[modulator_.bank().absorb_state()];
+    result.gamma.assign(incident.size(), absorb);
+
+    const rvec envelope = detector_.detect(incident);
+    const auto decoded = decoder_.decode(envelope);
+    if (!decoded) return result;
+
+    result.command_heard = true;
+    result.command = decoded->command;
+    apply_command(decoded->command);
+
+    const bool is_read = decoded->command.command == ap::tag_command::kind::read;
+    const bool for_us = addressed_by(decoded->command) || selected_;
+    if (!is_read || !for_us || muted_) return result;
+
+    const auto turnaround = static_cast<std::size_t>(
+        std::round(cfg_.turnaround_s * cfg_.modulator.sample_rate_hz));
+    result.respond_sample = decoded->end_sample + turnaround;
+    if (result.respond_sample >= incident.size()) return result;
+
+    const modulated_frame frame = modulator_.modulate(payload);
+    const std::size_t copy_count =
+        std::min(frame.gamma.size(), incident.size() - result.respond_sample);
+    std::copy_n(frame.gamma.begin(), copy_count,
+                result.gamma.begin() + static_cast<std::ptrdiff_t>(result.respond_sample));
+    result.responded = true;
+    return result;
+}
+
+} // namespace mmtag::tag

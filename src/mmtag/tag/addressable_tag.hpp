@@ -1,0 +1,66 @@
+// Addressable tag: the complete tag-side protocol party. Combines the
+// envelope detector (command reception), the PIE command decoder, a small
+// protocol state machine (idle / selected / muted), and the backscatter
+// modulator. One addressable_tag is "the firmware" of one physical tag.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "mmtag/common.hpp"
+#include "mmtag/ap/query_encoder.hpp"
+#include "mmtag/rf/envelope_detector.hpp"
+#include "mmtag/tag/command_decoder.hpp"
+#include "mmtag/tag/modulator.hpp"
+
+namespace mmtag::tag {
+
+class addressable_tag {
+public:
+    struct config {
+        std::uint16_t tag_id = 1;
+        backscatter_modulator::config modulator{};
+        rf::envelope_detector::config detector{};
+        command_decoder::config decoder{};
+        /// Decode-to-respond turnaround after a READ addressed to us [s].
+        double turnaround_s = 2e-6;
+        std::uint64_t seed = 1;
+    };
+
+    explicit addressable_tag(const config& cfg);
+
+    [[nodiscard]] std::uint16_t tag_id() const { return cfg_.tag_id; }
+    [[nodiscard]] bool selected() const { return selected_; }
+    [[nodiscard]] bool muted() const { return muted_; }
+
+    struct reaction {
+        bool command_heard = false;
+        ap::tag_command command{};
+        bool responded = false;
+        std::size_t respond_sample = 0;
+        cvec gamma; ///< full-window reflection waveform (absorptive otherwise)
+    };
+
+    /// Runs the firmware over one incident RF window. The tag decodes any
+    /// command present, updates its protocol state, and — when READ
+    /// addresses it (directly or via a prior SELECT) — backscatters
+    /// `payload` after the turnaround.
+    [[nodiscard]] reaction process(std::span<const cf64> incident,
+                                   std::span<const std::uint8_t> payload);
+
+    /// Protocol state transitions, exposed for unit testing.
+    void apply_command(const ap::tag_command& cmd);
+
+private:
+    [[nodiscard]] bool addressed_by(const ap::tag_command& cmd) const;
+
+    config cfg_;
+    backscatter_modulator modulator_;
+    rf::envelope_detector detector_;
+    command_decoder decoder_;
+    bool selected_ = false;
+    bool muted_ = false;
+};
+
+} // namespace mmtag::tag

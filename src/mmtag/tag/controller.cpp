@@ -1,0 +1,69 @@
+#include "mmtag/tag/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmtag::tag {
+
+tag_controller::tag_controller(const config& cfg)
+    : cfg_(cfg), modulator_(cfg.modulator), detector_(cfg.detector, cfg.seed)
+{
+    if (cfg.wake_threshold_v <= 0.0) {
+        throw std::invalid_argument("tag_controller: wake threshold must be > 0");
+    }
+    if (cfg.detect_hold_s < 0.0 || cfg.turnaround_s < 0.0) {
+        throw std::invalid_argument("tag_controller: negative timing parameter");
+    }
+}
+
+tag_controller::response tag_controller::respond_to_query(std::span<const cf64> incident,
+                                                          std::span<const std::uint8_t> payload)
+{
+    response result;
+    const double fs = cfg_.modulator.sample_rate_hz;
+    const auto hold_samples = static_cast<std::size_t>(std::round(cfg_.detect_hold_s * fs));
+    const auto turnaround_samples = static_cast<std::size_t>(std::round(cfg_.turnaround_s * fs));
+
+    state_ = tag_state::listening;
+    const rvec envelope = detector_.detect(incident);
+    const std::vector<bool> carrier =
+        detector_.threshold(envelope, cfg_.wake_threshold_v, cfg_.wake_threshold_v / 2.0);
+
+    // Find the first run of `hold_samples` consecutive carrier-present samples.
+    std::size_t run = 0;
+    std::optional<std::size_t> detect_at;
+    for (std::size_t i = 0; i < carrier.size(); ++i) {
+        run = carrier[i] ? run + 1 : 0;
+        if (run >= std::max<std::size_t>(hold_samples, 1)) {
+            detect_at = i;
+            break;
+        }
+    }
+
+    // Default: stay absorptive for the whole window.
+    const cf64 absorb = modulator_.bank().gammas()[modulator_.bank().absorb_state()];
+    result.gamma.assign(incident.size(), absorb);
+    if (!detect_at) {
+        state_ = tag_state::sleeping;
+        return result;
+    }
+
+    result.detect_sample = *detect_at;
+    result.respond_sample = *detect_at + turnaround_samples;
+    if (result.respond_sample >= incident.size()) {
+        state_ = tag_state::sleeping;
+        return result; // window too short to respond in
+    }
+
+    state_ = tag_state::responding;
+    result.frame = modulator_.modulate(payload);
+    result.responded = true;
+    const std::size_t copy_count =
+        std::min(result.frame.gamma.size(), incident.size() - result.respond_sample);
+    std::copy_n(result.frame.gamma.begin(), copy_count,
+                result.gamma.begin() + static_cast<std::ptrdiff_t>(result.respond_sample));
+    state_ = tag_state::listening;
+    return result;
+}
+
+} // namespace mmtag::tag

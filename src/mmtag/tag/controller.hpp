@@ -1,0 +1,62 @@
+// Tag controller: the MCU firmware state machine. Sleeps, watches the
+// envelope detector for the AP's query carrier, and after a fixed turnaround
+// backscatters its queued payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "mmtag/common.hpp"
+#include "mmtag/rf/envelope_detector.hpp"
+#include "mmtag/tag/modulator.hpp"
+
+namespace mmtag::tag {
+
+enum class tag_state {
+    sleeping,
+    listening,
+    responding,
+};
+
+class tag_controller {
+public:
+    struct config {
+        backscatter_modulator::config modulator{};
+        rf::envelope_detector::config detector{};
+        /// Detector output level that counts as "carrier present" [V].
+        double wake_threshold_v = 1e-4;
+        /// Carrier must persist this long before the tag trusts it [s].
+        double detect_hold_s = 1e-6;
+        /// Decode-to-respond turnaround after detection [s].
+        double turnaround_s = 2e-6;
+        std::uint64_t seed = 1;
+    };
+
+    explicit tag_controller(const config& cfg);
+
+    [[nodiscard]] tag_state state() const { return state_; }
+    [[nodiscard]] const backscatter_modulator& modulator() const { return modulator_; }
+
+    struct response {
+        bool responded = false;
+        std::size_t detect_sample = 0;   ///< where the carrier was confirmed
+        std::size_t respond_sample = 0;  ///< where modulation begins
+        cvec gamma;                      ///< full-timeline reflection waveform
+        modulated_frame frame;           ///< the modulated frame (if any)
+    };
+
+    /// Runs the firmware over one incident-sample window: detect the query,
+    /// wait the turnaround, backscatter `payload`. The returned gamma
+    /// waveform covers the whole window (absorptive outside the frame).
+    [[nodiscard]] response respond_to_query(std::span<const cf64> incident,
+                                            std::span<const std::uint8_t> payload);
+
+private:
+    config cfg_;
+    backscatter_modulator modulator_;
+    rf::envelope_detector detector_;
+    tag_state state_ = tag_state::sleeping;
+};
+
+} // namespace mmtag::tag

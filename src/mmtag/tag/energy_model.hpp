@@ -1,0 +1,56 @@
+// Tag power/energy accounting. The tag has no mmWave actives; its budget is
+// the switch driver (dynamic CV^2 f — dominant while transmitting), the
+// switch and envelope-detector bias, and the MCU.
+#pragma once
+
+#include <cstddef>
+
+#include "mmtag/common.hpp"
+#include "mmtag/phy/frame.hpp"
+#include "mmtag/tag/modulator.hpp"
+
+namespace mmtag::tag {
+
+class energy_model {
+public:
+    struct config {
+        /// Effective energy per switch transition including the driver's
+        /// CV^2 swing on the control line (GaAs switches need volts of
+        /// swing on tens of pF at high toggle rates).
+        double energy_per_transition_j = 3.7e-9;
+        double switch_static_w = 1.8e-3;   ///< bias of the switch die(s)
+        double detector_bias_w = 0.3e-3;   ///< envelope detector + comparator
+        double mcu_active_w = 5.76e-3;     ///< MSP430-class MCU, active
+        double mcu_sleep_w = 2e-6;         ///< LPM3-class sleep
+    };
+
+    energy_model();
+    explicit energy_model(const config& cfg);
+
+    [[nodiscard]] const config& parameters() const { return cfg_; }
+
+    /// Average power while asleep (RTC only).
+    [[nodiscard]] double sleep_power_w() const;
+
+    /// Average power while listening for a query (detector + MCU).
+    [[nodiscard]] double listen_power_w() const;
+
+    /// Average power while backscattering at `symbol_rate_hz` with
+    /// `transitions_per_symbol` average switch activity.
+    [[nodiscard]] double transmit_power_w(double symbol_rate_hz,
+                                          double transitions_per_symbol) const;
+
+    /// Energy for one concrete modulated frame.
+    [[nodiscard]] double frame_energy_j(const modulated_frame& frame) const;
+
+    /// Energy per information bit [J/bit] at a PHY configuration and symbol
+    /// rate; random data assumed (expected transition density of an M-ary
+    /// memoryless symbol stream: (M-1)/M).
+    [[nodiscard]] double energy_per_bit(const phy::frame_config& frame,
+                                        double symbol_rate_hz) const;
+
+private:
+    config cfg_;
+};
+
+} // namespace mmtag::tag

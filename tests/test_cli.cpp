@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "mmtag/cli/commands.hpp"
+#include "mmtag/cli/options.hpp"
+
+namespace mmtag::cli {
+namespace {
+
+option_set parse(std::initializer_list<const char*> args)
+{
+    std::vector<const char*> argv{"mmtag_sim"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return option_set::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(options, parses_subcommand_and_pairs)
+{
+    const auto opts = parse({"link", "--distance", "3.5", "--frames", "7"});
+    EXPECT_EQ(opts.command(), "link");
+    EXPECT_DOUBLE_EQ(opts.get_double("distance", 0.0), 3.5);
+    EXPECT_EQ(opts.get_int("frames", 0), 7);
+}
+
+TEST(options, equals_form)
+{
+    const auto opts = parse({"budget", "--tx-power=30", "--points=5"});
+    EXPECT_DOUBLE_EQ(opts.get_double("tx-power", 0.0), 30.0);
+    EXPECT_EQ(opts.get_int("points", 0), 5);
+}
+
+TEST(options, defaults_when_absent)
+{
+    const auto opts = parse({"link"});
+    EXPECT_DOUBLE_EQ(opts.get_double("distance", 2.0), 2.0);
+    EXPECT_EQ(opts.get_string("scheme", "qpsk"), "qpsk");
+    EXPECT_FALSE(opts.get_flag("csv"));
+}
+
+TEST(options, bare_flag)
+{
+    const auto opts = parse({"link", "--csv"});
+    EXPECT_TRUE(opts.get_flag("csv"));
+}
+
+TEST(options, rejects_malformed_input)
+{
+    EXPECT_THROW(parse({"--no-subcommand"}), std::invalid_argument);
+    EXPECT_THROW(parse({"link", "distance", "3"}), std::invalid_argument);
+    EXPECT_THROW(parse({"link", "--d", "1", "--d", "2"}), std::invalid_argument);
+    const char* argv[] = {"mmtag_sim"};
+    EXPECT_THROW(option_set::parse(1, argv), std::invalid_argument);
+}
+
+TEST(options, rejects_bad_numbers)
+{
+    const auto opts = parse({"link", "--distance", "abc", "--frames", "2.5"});
+    EXPECT_THROW((void)opts.get_double("distance", 0.0), std::invalid_argument);
+    EXPECT_THROW((void)opts.get_int("frames", 0), std::invalid_argument);
+}
+
+TEST(options, tracks_unconsumed_keys)
+{
+    const auto opts = parse({"link", "--distance", "2", "--typo", "1"});
+    (void)opts.get_double("distance", 0.0);
+    const auto leftover = opts.unconsumed();
+    ASSERT_EQ(leftover.size(), 1u);
+    EXPECT_EQ(leftover.front(), "typo");
+}
+
+TEST(options, modulation_and_fec_names)
+{
+    EXPECT_EQ(parse_modulation("bpsk"), phy::modulation::bpsk);
+    EXPECT_EQ(parse_modulation("16psk"), phy::modulation::psk16);
+    EXPECT_THROW((void)parse_modulation("qam64"), std::invalid_argument);
+    EXPECT_EQ(parse_fec("none"), phy::fec_mode::uncoded);
+    EXPECT_EQ(parse_fec("3/4"), phy::fec_mode::conv_three_quarters);
+    EXPECT_THROW((void)parse_fec("7/8"), std::invalid_argument);
+}
+
+TEST(commands, dispatch_help_and_unknown)
+{
+    const char* help[] = {"mmtag_sim", "help"};
+    EXPECT_EQ(dispatch(2, help), 0);
+    const char* unknown[] = {"mmtag_sim", "frobnicate"};
+    EXPECT_EQ(dispatch(2, unknown), 1);
+    const char* missing[] = {"mmtag_sim"};
+    EXPECT_EQ(dispatch(1, missing), 1);
+}
+
+TEST(commands, link_runs_and_rejects_typos)
+{
+    const char* ok[] = {"mmtag_sim", "link", "--frames", "2", "--payload", "16"};
+    EXPECT_EQ(dispatch(6, ok), 0);
+    const char* typo[] = {"mmtag_sim", "link", "--distnace", "2"};
+    EXPECT_EQ(dispatch(4, typo), 1);
+}
+
+TEST(commands, budget_runs)
+{
+    const char* argv[] = {"mmtag_sim", "budget", "--points", "3"};
+    EXPECT_EQ(dispatch(4, argv), 0);
+}
+
+TEST(commands, inventory_runs)
+{
+    const char* argv[] = {"mmtag_sim", "inventory", "--tags", "10", "--seeds", "3"};
+    EXPECT_EQ(dispatch(6, argv), 0);
+}
+
+TEST(commands, network_runs)
+{
+    const char* argv[] = {"mmtag_sim", "network", "--tags", "5"};
+    EXPECT_EQ(dispatch(4, argv), 0);
+}
+
+TEST(commands, link_presets)
+{
+    const char* warehouse[] = {"mmtag_sim", "link", "--preset", "warehouse",
+                               "--frames", "2"};
+    EXPECT_EQ(dispatch(6, warehouse), 0);
+    const char* wearable[] = {"mmtag_sim", "link", "--preset", "wearable",
+                              "--frames", "2"};
+    EXPECT_EQ(dispatch(6, wearable), 0);
+    const char* bogus[] = {"mmtag_sim", "link", "--preset", "garage"};
+    EXPECT_EQ(dispatch(4, bogus), 1);
+}
+
+TEST(commands, link_plate_at_angle_fails_gracefully)
+{
+    // A flat-plate tag rotated 30 degrees loses the link: exit code 2
+    // (ran fine, delivered nothing).
+    const char* argv[] = {"mmtag_sim", "link", "--reflector", "plate", "--angle", "30",
+                          "--frames", "2"};
+    EXPECT_EQ(dispatch(8, argv), 2);
+}
+
+} // namespace
+} // namespace mmtag::cli

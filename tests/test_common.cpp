@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "mmtag/common.hpp"
+
+namespace mmtag {
+namespace {
+
+TEST(common, db_round_trip)
+{
+    EXPECT_DOUBLE_EQ(to_db(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(to_db(10.0), 10.0);
+    EXPECT_NEAR(from_db(to_db(0.004)), 0.004, 1e-15);
+    EXPECT_NEAR(to_db(from_db(-37.2)), -37.2, 1e-12);
+}
+
+TEST(common, to_db_rejects_nonpositive)
+{
+    EXPECT_THROW((void)to_db(0.0), std::invalid_argument);
+    EXPECT_THROW((void)to_db(-1.0), std::invalid_argument);
+}
+
+TEST(common, dbm_conversions)
+{
+    EXPECT_DOUBLE_EQ(watt_to_dbm(1.0), 30.0);
+    EXPECT_NEAR(dbm_to_watt(0.0), 1e-3, 1e-15);
+    EXPECT_NEAR(dbm_to_watt(27.0), 0.5012, 1e-3);
+}
+
+TEST(common, wavelength_at_24_ghz)
+{
+    EXPECT_NEAR(wavelength(24e9), 0.012491, 1e-5);
+    EXPECT_THROW((void)wavelength(0.0), std::invalid_argument);
+}
+
+TEST(common, angle_conversions)
+{
+    EXPECT_DOUBLE_EQ(deg_to_rad(180.0), pi);
+    EXPECT_DOUBLE_EQ(rad_to_deg(pi / 2.0), 90.0);
+}
+
+TEST(common, wrap_phase_range)
+{
+    for (double raw : {0.0, 3.0, -3.0, 7.5, -7.5, 100.0, -100.0, pi, -pi}) {
+        const double wrapped = wrap_phase(raw);
+        EXPECT_GT(wrapped, -pi - 1e-12);
+        EXPECT_LE(wrapped, pi + 1e-12);
+        // Same angle modulo 2 pi.
+        EXPECT_NEAR(std::cos(wrapped), std::cos(raw), 1e-12);
+        EXPECT_NEAR(std::sin(wrapped), std::sin(raw), 1e-12);
+    }
+}
+
+} // namespace
+} // namespace mmtag

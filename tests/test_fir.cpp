@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "mmtag/dsp/fir.hpp"
+#include "mmtag/dsp/nco.hpp"
+#include "mmtag/dsp/estimators.hpp"
+
+namespace mmtag::dsp {
+namespace {
+
+double tone_gain(const rvec& taps, double frequency_norm)
+{
+    // Steady-state gain: feed a long tone, measure output RMS over the tail.
+    nco osc(frequency_norm);
+    const cvec tone = osc.generate(4096);
+    const cvec filtered = fir_apply(taps, tone);
+    const std::span<const cf64> tail{filtered.data() + 2048, 2048};
+    return rms(tail);
+}
+
+TEST(fir, lowpass_passes_low_and_stops_high)
+{
+    const rvec taps = design_lowpass(0.1, 101);
+    EXPECT_NEAR(tone_gain(taps, 0.01), 1.0, 0.02);
+    EXPECT_LT(tone_gain(taps, 0.3), 0.01);
+}
+
+TEST(fir, lowpass_unity_dc_gain)
+{
+    const rvec taps = design_lowpass(0.2, 61);
+    double sum = 0.0;
+    for (double t : taps) sum += t;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(fir, highpass_complement)
+{
+    const rvec taps = design_highpass(0.15, 101);
+    EXPECT_LT(tone_gain(taps, 0.01), 0.02);
+    EXPECT_NEAR(tone_gain(taps, 0.4), 1.0, 0.03);
+}
+
+TEST(fir, bandpass_selects_band)
+{
+    const rvec taps = design_bandpass(0.1, 0.2, 151);
+    EXPECT_LT(tone_gain(taps, 0.02), 0.02);
+    EXPECT_NEAR(tone_gain(taps, 0.15), 1.0, 0.05);
+    EXPECT_LT(tone_gain(taps, 0.35), 0.02);
+}
+
+TEST(fir, design_argument_validation)
+{
+    EXPECT_THROW((void)design_lowpass(0.0, 11), std::invalid_argument);
+    EXPECT_THROW((void)design_lowpass(0.6, 11), std::invalid_argument);
+    EXPECT_THROW((void)design_lowpass(0.1, 10), std::invalid_argument); // even
+    EXPECT_THROW((void)design_bandpass(0.3, 0.2, 11), std::invalid_argument);
+}
+
+TEST(fir, streaming_matches_batch)
+{
+    const rvec taps = design_lowpass(0.2, 31);
+    cvec input(200);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        input[i] = {std::sin(0.1 * static_cast<double>(i)), std::cos(0.05 * static_cast<double>(i))};
+    }
+    const cvec batch = fir_apply(taps, input);
+
+    fir_filter streaming{taps};
+    cvec chunked;
+    for (std::size_t start = 0; start < input.size(); start += 17) {
+        const std::size_t len = std::min<std::size_t>(17, input.size() - start);
+        const cvec part = streaming.process(std::span<const cf64>{input.data() + start, len});
+        chunked.insert(chunked.end(), part.begin(), part.end());
+    }
+    ASSERT_EQ(chunked.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_NEAR(std::abs(chunked[i] - batch[i]), 0.0, 1e-12);
+    }
+}
+
+TEST(fir, reset_clears_state)
+{
+    fir_filter filter{design_lowpass(0.2, 15)};
+    (void)filter.process(cf64{5.0, -3.0});
+    filter.reset();
+    // After reset, an all-zero input must produce all-zero output.
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(filter.process(cf64{}), cf64{});
+    }
+}
+
+TEST(fir, group_delay_is_half_length)
+{
+    fir_filter filter{design_lowpass(0.2, 41)};
+    EXPECT_DOUBLE_EQ(filter.group_delay(), 20.0);
+}
+
+TEST(fir, empty_taps_rejected)
+{
+    EXPECT_THROW(fir_filter{rvec{}}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace mmtag::dsp

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mmtag/core/config.hpp"
+#include "mmtag/core/link_simulator.hpp"
+#include "mmtag/dsp/goertzel.hpp"
+#include "mmtag/dsp/nco.hpp"
+#include "mmtag/phy/bitio.hpp"
+
+namespace mmtag {
+namespace {
+
+TEST(goertzel, measures_matching_tone_power)
+{
+    dsp::nco osc(0.125);
+    const cvec tone = osc.generate(1024);
+    // A unit tone at the probed bin: normalized power 1.
+    EXPECT_NEAR(dsp::goertzel_power(tone, 0.125), 1.0, 1e-9);
+}
+
+TEST(goertzel, rejects_off_bin_tone)
+{
+    dsp::nco osc(0.125);
+    const cvec tone = osc.generate(1024);
+    // 20 bins away: rectangular-window sidelobe, far below the main bin.
+    EXPECT_LT(dsp::goertzel_power(tone, 0.125 + 20.0 / 1024.0), 1e-3);
+}
+
+TEST(goertzel, matches_fft_bin)
+{
+    std::mt19937_64 rng(3);
+    std::normal_distribution<double> g(0.0, 1.0);
+    cvec x(256);
+    for (auto& v : x) v = {g(rng), g(rng)};
+    // Compare against a direct DFT at bin 37.
+    const double f = 37.0 / 256.0;
+    cf64 direct{};
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        direct += x[n] * std::polar(1.0, -two_pi * f * static_cast<double>(n));
+    }
+    EXPECT_NEAR(dsp::goertzel_power(x, f), std::norm(direct) / (256.0 * 256.0), 1e-9);
+}
+
+TEST(goertzel, streaming_accumulation_and_reset)
+{
+    dsp::nco osc(0.05);
+    const cvec tone = osc.generate(600);
+    dsp::goertzel detector(0.05);
+    detector.process(std::span<const cf64>{tone.data(), 300});
+    detector.process(std::span<const cf64>{tone.data() + 300, 300});
+    EXPECT_EQ(detector.samples_consumed(), 600u);
+    EXPECT_NEAR(detector.power(), 1.0, 1e-9);
+    detector.reset();
+    EXPECT_EQ(detector.samples_consumed(), 0u);
+    EXPECT_THROW((void)detector.power(), std::logic_error);
+}
+
+TEST(goertzel, detect_tone_picks_strongest_candidate)
+{
+    dsp::nco osc(0.2);
+    cvec signal = osc.generate(2048);
+    for (auto& s : signal) s *= 0.1; // -20 dBFS tone
+    const std::vector<double> candidates{0.1, 0.2, 0.3};
+    EXPECT_EQ(dsp::detect_tone(signal, candidates, 1e-4), 1u);
+    // Threshold above the tone power: nothing qualifies.
+    EXPECT_EQ(dsp::detect_tone(signal, candidates, 1.0),
+              std::numeric_limits<std::size_t>::max());
+}
+
+TEST(goertzel, validation)
+{
+    EXPECT_THROW(dsp::goertzel(1.0), std::invalid_argument);
+    EXPECT_THROW(dsp::goertzel(-0.1), std::invalid_argument);
+}
+
+TEST(presets, all_presets_validate)
+{
+    EXPECT_NO_THROW(core::validate(core::default_scenario()));
+    EXPECT_NO_THROW(core::validate(core::fast_scenario()));
+    EXPECT_NO_THROW(core::validate(core::warehouse_scenario()));
+    EXPECT_NO_THROW(core::validate(core::wearable_scenario()));
+}
+
+TEST(presets, fast_scenario_matches_default_rf)
+{
+    const auto fast = core::fast_scenario();
+    const auto full = core::default_scenario();
+    EXPECT_DOUBLE_EQ(fast.transmitter.tx_power_dbm, full.transmitter.tx_power_dbm);
+    EXPECT_EQ(fast.van_atta.element_count, full.van_atta.element_count);
+    EXPECT_DOUBLE_EQ(fast.symbol_rate_hz, full.symbol_rate_hz);
+    EXPECT_LT(fast.sample_rate_hz, full.sample_rate_hz);
+}
+
+TEST(presets, warehouse_preset_delivers)
+{
+    auto cfg = core::warehouse_scenario();
+    cfg.distance_m = 5.0;
+    core::link_simulator sim(cfg);
+    const auto report = sim.run_trials(3, 32);
+    EXPECT_DOUBLE_EQ(report.per, 0.0);
+    // 16 elements buy +6 dB over an 8-element tag in the same clutter.
+    auto small = core::warehouse_scenario();
+    small.distance_m = 5.0;
+    small.van_atta.element_count = 8;
+    core::link_simulator small_sim(small);
+    EXPECT_GT(report.mean_snr_db, small_sim.run_trials(3, 32).mean_snr_db + 3.0);
+}
+
+TEST(presets, wearable_preset_streams_at_high_rate)
+{
+    const auto cfg = core::wearable_scenario();
+    core::link_simulator sim(cfg);
+    const auto report = sim.run_trials(3, 96);
+    EXPECT_DOUBLE_EQ(report.per, 0.0);
+    // 12.5 Msym/s x 8-PSK x 2/3 = 25 Mb/s info rate; goodput above 10 Mb/s
+    // after framing overhead.
+    EXPECT_GT(report.goodput_bps, 10e6);
+}
+
+} // namespace
+} // namespace mmtag

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "mmtag/dsp/estimators.hpp"
+#include "mmtag/dsp/iir.hpp"
+#include "mmtag/dsp/nco.hpp"
+
+namespace mmtag::dsp {
+namespace {
+
+double cascade_tone_gain(biquad_cascade& filter, double frequency_norm)
+{
+    filter.reset();
+    nco osc(frequency_norm);
+    const cvec tone = osc.generate(8192);
+    const cvec out = filter.process(tone);
+    const std::span<const cf64> tail{out.data() + 4096, 4096};
+    return rms(tail);
+}
+
+TEST(iir, biquad_lowpass_attenuates_high_frequency)
+{
+    biquad_cascade filter{{design_biquad_lowpass(0.05)}};
+    EXPECT_NEAR(cascade_tone_gain(filter, 0.005), 1.0, 0.02);
+    EXPECT_LT(cascade_tone_gain(filter, 0.4), 0.02);
+}
+
+TEST(iir, biquad_highpass_attenuates_dc)
+{
+    biquad_cascade filter{{design_biquad_highpass(0.05)}};
+    EXPECT_LT(cascade_tone_gain(filter, 0.001), 0.01);
+    EXPECT_NEAR(cascade_tone_gain(filter, 0.4), 1.0, 0.02);
+}
+
+TEST(iir, notch_removes_center_keeps_neighbors)
+{
+    biquad_cascade filter{{design_biquad_notch(0.1, 10.0)}};
+    EXPECT_LT(cascade_tone_gain(filter, 0.1), 0.02);
+    EXPECT_NEAR(cascade_tone_gain(filter, 0.25), 1.0, 0.05);
+    EXPECT_NEAR(cascade_tone_gain(filter, 0.01), 1.0, 0.05);
+}
+
+TEST(iir, butterworth_order_increases_rolloff)
+{
+    auto second = design_butterworth_lowpass(0.1, 2);
+    auto sixth = design_butterworth_lowpass(0.1, 6);
+    const double g2 = cascade_tone_gain(second, 0.2);
+    const double g6 = cascade_tone_gain(sixth, 0.2);
+    EXPECT_LT(g6, g2 / 10.0); // much steeper skirt
+    EXPECT_EQ(second.section_count(), 1u);
+    EXPECT_EQ(sixth.section_count(), 3u);
+}
+
+TEST(iir, butterworth_passband_flat)
+{
+    auto filter = design_butterworth_lowpass(0.1, 4);
+    EXPECT_NEAR(cascade_tone_gain(filter, 0.01), 1.0, 0.02);
+    // -3 dB at the corner.
+    EXPECT_NEAR(cascade_tone_gain(filter, 0.1), std::sqrt(0.5), 0.03);
+}
+
+TEST(iir, design_validation)
+{
+    EXPECT_THROW((void)design_biquad_lowpass(0.0), std::invalid_argument);
+    EXPECT_THROW((void)design_biquad_lowpass(0.1, -1.0), std::invalid_argument);
+    EXPECT_THROW((void)design_butterworth_lowpass(0.1, 3), std::invalid_argument);
+    EXPECT_THROW((void)design_butterworth_lowpass(0.1, 0), std::invalid_argument);
+    EXPECT_THROW(biquad_cascade{std::vector<biquad_coefficients>{}}, std::invalid_argument);
+}
+
+TEST(iir, reset_restores_zero_state)
+{
+    biquad filter{design_biquad_lowpass(0.1)};
+    (void)filter.process(cf64{10.0, 0.0});
+    filter.reset();
+    EXPECT_EQ(filter.process(cf64{}), cf64{});
+}
+
+} // namespace
+} // namespace mmtag::dsp

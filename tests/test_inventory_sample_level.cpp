@@ -1,0 +1,97 @@
+// Sample-accurate inventory: validates the slot-level ALOHA abstraction
+// against real superposed waveforms — collisions destroy frames because the
+// RF adds up, not because a model says so.
+#include <gtest/gtest.h>
+
+#include "mmtag/core/inventory_round.hpp"
+
+namespace mmtag::core {
+namespace {
+
+// Shared 50 MS/s preset from the library.
+using core::fast_scenario;
+
+std::vector<tag_descriptor> make_tags(std::size_t count)
+{
+    std::vector<tag_descriptor> tags;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        tags.push_back({1000 + i, 2.0 + 0.3 * static_cast<double>(i),
+                        deg_to_rad(-10.0 + 4.0 * static_cast<double>(i))});
+    }
+    return tags;
+}
+
+TEST(sampled_inventory, single_tag_first_round)
+{
+    const auto tags = make_tags(1);
+    sampled_inventory_config cfg;
+    cfg.slot_exponent = 1;
+    const auto result = run_sampled_inventory(fast_scenario(), tags, cfg, 1);
+    EXPECT_TRUE(result.complete());
+    EXPECT_EQ(result.rounds, 1u);
+    EXPECT_EQ(result.identified_ids, std::vector<std::uint32_t>{1000});
+}
+
+TEST(sampled_inventory, four_tags_complete_within_budget)
+{
+    const auto tags = make_tags(4);
+    sampled_inventory_config cfg;
+    cfg.slot_exponent = 2; // 4 slots: collisions likely but resolvable
+    const auto result = run_sampled_inventory(fast_scenario(), tags, cfg, 7);
+    EXPECT_TRUE(result.complete()) << result.identified_ids.size() << "/4 after "
+                                   << result.rounds << " rounds";
+    const std::vector<std::uint32_t> expected{1000, 1001, 1002, 1003};
+    EXPECT_EQ(result.identified_ids, expected);
+}
+
+TEST(sampled_inventory, collisions_happen_and_cost_rounds)
+{
+    // 6 tags in 2 slots: heavy collisions. The waveform-level truth should
+    // show collision slots and need multiple rounds.
+    const auto tags = make_tags(6);
+    sampled_inventory_config cfg;
+    cfg.slot_exponent = 1;
+    cfg.max_rounds = 16;
+    const auto result = run_sampled_inventory(fast_scenario(), tags, cfg, 3);
+    EXPECT_GT(result.collision_slots, 0u);
+    EXPECT_GT(result.rounds, 1u);
+    // With 16 rounds of 2 slots the stragglers eventually get through.
+    EXPECT_GE(result.identified_ids.size(), 5u);
+}
+
+TEST(sampled_inventory, deterministic)
+{
+    const auto tags = make_tags(3);
+    sampled_inventory_config cfg;
+    const auto a = run_sampled_inventory(fast_scenario(), tags, cfg, 11);
+    const auto b = run_sampled_inventory(fast_scenario(), tags, cfg, 11);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.identified_ids, b.identified_ids);
+    EXPECT_EQ(a.collision_slots, b.collision_slots);
+}
+
+TEST(sampled_inventory, slot_accounting_consistent)
+{
+    const auto tags = make_tags(3);
+    sampled_inventory_config cfg;
+    cfg.slot_exponent = 2;
+    const auto result = run_sampled_inventory(fast_scenario(), tags, cfg, 13);
+    EXPECT_EQ(result.slots_used, result.rounds * 4);
+    EXPECT_LE(result.collision_slots + result.idle_slots, result.slots_used);
+}
+
+TEST(sampled_inventory, validation)
+{
+    const auto tags = make_tags(2);
+    sampled_inventory_config cfg;
+    cfg.slot_exponent = 9;
+    EXPECT_THROW((void)run_sampled_inventory(fast_scenario(), tags, cfg, 1),
+                 std::invalid_argument);
+    cfg.slot_exponent = 2;
+    cfg.max_rounds = 0;
+    EXPECT_THROW((void)run_sampled_inventory(fast_scenario(), tags, cfg, 1),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace mmtag::core

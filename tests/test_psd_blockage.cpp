@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mmtag/channel/blockage.hpp"
+#include "mmtag/dsp/nco.hpp"
+#include "mmtag/dsp/psd.hpp"
+#include "mmtag/phy/line_code.hpp"
+#include "mmtag/phy/bitio.hpp"
+
+namespace mmtag {
+namespace {
+
+TEST(welch_psd, locates_a_tone)
+{
+    dsp::nco osc(0.1); // 0.1 * fs
+    const cvec tone = osc.generate(8192);
+    dsp::welch_config cfg;
+    cfg.segment_length = 512;
+    cfg.sample_rate_hz = 1e6;
+    const auto psd = dsp::welch_psd(tone, cfg);
+    EXPECT_NEAR(psd.peak_frequency(), 0.1e6, 1e6 / 512.0);
+}
+
+TEST(welch_psd, white_noise_is_flat)
+{
+    std::mt19937_64 rng(3);
+    std::normal_distribution<double> g(0.0, 1.0);
+    cvec noise(65536);
+    for (auto& s : noise) s = {g(rng), g(rng)};
+    dsp::welch_config cfg;
+    cfg.segment_length = 256;
+    cfg.sample_rate_hz = 1.0;
+    const auto psd = dsp::welch_psd(noise, cfg);
+    // Max-to-min bin ratio of a well-averaged white spectrum stays small.
+    const double peak = *std::max_element(psd.power.begin(), psd.power.end());
+    const double floor = *std::min_element(psd.power.begin(), psd.power.end());
+    EXPECT_LT(peak / floor, 2.5);
+}
+
+TEST(welch_psd, band_power_partitions_total)
+{
+    dsp::nco osc(0.2);
+    const cvec tone = osc.generate(4096);
+    dsp::welch_config cfg;
+    cfg.segment_length = 256;
+    cfg.sample_rate_hz = 1.0;
+    const auto psd = dsp::welch_psd(tone, cfg);
+    const double left = psd.band_power(-0.5, 0.0 - 1e-12);
+    const double right = psd.band_power(0.0 - 1e-12, 0.5);
+    EXPECT_NEAR(left + right, psd.total_power(), 1e-9 * psd.total_power());
+    // Tone at +0.2: virtually all power on the positive side.
+    EXPECT_GT(right, psd.total_power() * 0.99);
+}
+
+TEST(welch_psd, occupied_bandwidth_of_tone_is_narrow)
+{
+    dsp::nco osc(0.05);
+    const cvec tone = osc.generate(16384);
+    dsp::welch_config cfg;
+    cfg.segment_length = 1024;
+    cfg.sample_rate_hz = 1e6;
+    const auto psd = dsp::welch_psd(tone, cfg);
+    EXPECT_LT(psd.occupied_bandwidth(0.99, 0.05e6), 20e3);
+}
+
+TEST(welch_psd, line_code_spectra_match_dc_fractions)
+{
+    // The PSD view must agree with the time-domain dc_power_fraction.
+    const auto bits = phy::random_bits(16384, 5);
+    for (auto code : {phy::line_code::nrz, phy::line_code::miller4}) {
+        const auto chips = phy::encode_line_code(bits, code);
+        cvec wave(chips.size());
+        for (std::size_t i = 0; i < chips.size(); ++i) {
+            wave[i] = {static_cast<double>(chips[i]), 0.0};
+        }
+        dsp::welch_config cfg;
+        cfg.segment_length = 1024;
+        cfg.sample_rate_hz = 1.0;
+        const auto psd = dsp::welch_psd(wave, cfg);
+        const double near_dc = psd.band_power(-0.01, 0.01) / psd.total_power();
+        if (code == phy::line_code::nrz) EXPECT_GT(near_dc, 0.01);
+        else EXPECT_LT(near_dc, 1e-3);
+    }
+}
+
+TEST(welch_psd, validation)
+{
+    dsp::welch_config cfg;
+    cfg.segment_length = 100; // not a power of two
+    EXPECT_THROW((void)dsp::welch_psd(cvec(256), cfg), std::invalid_argument);
+    cfg.segment_length = 256;
+    EXPECT_THROW((void)dsp::welch_psd(cvec(100), cfg), std::invalid_argument);
+}
+
+TEST(blockage, levels_bounded_and_reach_both_states)
+{
+    channel::blockage_process::config cfg;
+    cfg.sample_rate_hz = 1e6;
+    cfg.mean_clear_s = 2e-3;
+    cfg.mean_blocked_s = 1e-3;
+    cfg.blockage_loss_db = 20.0;
+    cfg.transition_s = 50e-6;
+    channel::blockage_process process(cfg, 7);
+    const rvec trace = process.generate(2'000'000); // 2 s of process
+    const double blocked_amp = std::pow(10.0, -1.0);
+    double low = 1.0;
+    double high = 0.0;
+    for (double v : trace) {
+        EXPECT_GE(v, blocked_amp - 1e-9);
+        EXPECT_LE(v, 1.0 + 1e-9);
+        low = std::min(low, v);
+        high = std::max(high, v);
+    }
+    EXPECT_NEAR(low, blocked_amp, 1e-6);  // reached fully blocked
+    EXPECT_NEAR(high, 1.0, 1e-6);         // reached fully clear
+}
+
+TEST(blockage, duty_cycle_matches_dwell_ratio)
+{
+    channel::blockage_process::config cfg;
+    cfg.sample_rate_hz = 1e6;
+    cfg.mean_clear_s = 3e-3;
+    cfg.mean_blocked_s = 1e-3;
+    cfg.transition_s = 10e-6;
+    channel::blockage_process process(cfg, 11);
+    EXPECT_NEAR(process.duty_cycle(), 0.25, 1e-12);
+    // Empirical: fraction of samples below the midpoint amplitude.
+    const rvec trace = process.generate(4'000'000);
+    std::size_t blocked = 0;
+    for (double v : trace) {
+        if (v < 0.55) ++blocked;
+    }
+    EXPECT_NEAR(static_cast<double>(blocked) / trace.size(), 0.25, 0.08);
+}
+
+TEST(blockage, transitions_are_smooth)
+{
+    channel::blockage_process::config cfg;
+    cfg.sample_rate_hz = 1e6;
+    cfg.transition_s = 100e-6; // 100 samples
+    channel::blockage_process process(cfg, 13);
+    const rvec trace = process.generate(3'000'000);
+    const double max_step = (1.0 - std::pow(10.0, -1.0)) / 100.0;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        EXPECT_LE(std::abs(trace[i] - trace[i - 1]), max_step * 1.001);
+    }
+}
+
+TEST(blockage, deterministic_by_seed)
+{
+    channel::blockage_process a({}, 5);
+    channel::blockage_process b({}, 5);
+    EXPECT_EQ(a.generate(10000), b.generate(10000));
+}
+
+TEST(blockage, validation)
+{
+    channel::blockage_process::config cfg;
+    cfg.mean_clear_s = 0.0;
+    EXPECT_THROW(channel::blockage_process(cfg, 1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mmtag

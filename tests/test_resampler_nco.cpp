@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "mmtag/dsp/estimators.hpp"
+#include "mmtag/dsp/fft.hpp"
+#include "mmtag/dsp/nco.hpp"
+#include "mmtag/dsp/resampler.hpp"
+
+namespace mmtag::dsp {
+namespace {
+
+std::size_t dominant_bin(std::span<const cf64> x)
+{
+    const rvec spectrum = power_spectrum(x);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < spectrum.size(); ++i) {
+        if (spectrum[i] > spectrum[best]) best = i;
+    }
+    return best;
+}
+
+TEST(nco, generates_requested_frequency)
+{
+    nco osc(0.125); // exactly bin 128 of a 1024-point FFT
+    const cvec tone = osc.generate(1024);
+    EXPECT_EQ(dominant_bin(tone), 128u);
+}
+
+TEST(nco, unit_amplitude)
+{
+    nco osc(0.03, 1.0);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_NEAR(std::abs(osc.step()), 1.0, 1e-12);
+    }
+}
+
+TEST(nco, negative_frequency_conjugates)
+{
+    nco pos(0.1);
+    nco neg(-0.1);
+    for (int i = 0; i < 50; ++i) {
+        const cf64 a = pos.step();
+        const cf64 b = neg.step();
+        EXPECT_NEAR(std::abs(a - std::conj(b)), 0.0, 1e-12);
+    }
+}
+
+TEST(nco, mix_shifts_spectrum)
+{
+    nco source(10.0 / 256.0);
+    const cvec tone = source.generate(256);
+    const cvec shifted = frequency_shift(tone, 20.0 / 256.0);
+    EXPECT_EQ(dominant_bin(shifted), 30u);
+}
+
+TEST(nco, phase_adjust_applies_offset)
+{
+    nco osc(0.0, 0.0);
+    osc.adjust_phase(pi / 2.0);
+    const cf64 v = osc.step();
+    EXPECT_NEAR(v.real(), 0.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 1.0, 1e-12);
+}
+
+TEST(decimator, preserves_in_band_tone)
+{
+    // Tone at 0.02 cycles/sample, decimate by 4 -> 0.08 at the slow rate.
+    nco osc(0.02);
+    const cvec input = osc.generate(8192);
+    decimator dec(4);
+    const cvec output = dec.process(input);
+    ASSERT_EQ(output.size(), input.size() / 4);
+    const std::span<const cf64> tail{output.data() + 1024, 1024};
+    EXPECT_NEAR(rms(tail), 1.0, 0.02);
+    EXPECT_EQ(dominant_bin(tail), 82u); // 0.08 * 1024 ~= 82
+}
+
+TEST(decimator, removes_aliasing_tone)
+{
+    // Tone at 0.4 would alias to 0.4*4 mod 1 after decimation; the
+    // anti-alias filter must crush it first.
+    nco osc(0.4);
+    const cvec input = osc.generate(8192);
+    decimator dec(4);
+    const cvec output = dec.process(input);
+    const std::span<const cf64> tail{output.data() + 512, 1024};
+    EXPECT_LT(rms(tail), 0.01);
+}
+
+TEST(interpolator, output_rate_and_amplitude)
+{
+    nco osc(0.05);
+    const cvec input = osc.generate(2048);
+    interpolator interp(4);
+    const cvec output = interp.process(input);
+    ASSERT_EQ(output.size(), input.size() * 4);
+    const std::span<const cf64> tail{output.data() + 2048, 4096};
+    EXPECT_NEAR(rms(tail), 1.0, 0.03);
+    EXPECT_EQ(dominant_bin(tail), 51u); // 0.0125 * 4096 = 51.2
+}
+
+TEST(rational_resampler, rate_ratio)
+{
+    rational_resampler resampler(3, 2);
+    EXPECT_DOUBLE_EQ(resampler.rate(), 1.5);
+    nco osc(0.04);
+    const cvec input = osc.generate(4000);
+    const cvec output = resampler.process(input);
+    EXPECT_EQ(output.size(), input.size() * 3 / 2);
+}
+
+TEST(resampler, unit_factor_is_identity_rate)
+{
+    decimator dec(1);
+    const cvec input{{1.0, 0.0}, {0.5, 0.5}, {0.0, -1.0}};
+    const cvec out = dec.process(input);
+    ASSERT_EQ(out.size(), input.size());
+}
+
+TEST(resampler, zero_factor_rejected)
+{
+    EXPECT_THROW(decimator(0), std::invalid_argument);
+    EXPECT_THROW(interpolator(0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mmtag::dsp

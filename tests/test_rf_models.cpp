@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "mmtag/dsp/estimators.hpp"
+#include "mmtag/rf/adc.hpp"
+#include "mmtag/rf/amplifier.hpp"
+#include "mmtag/rf/mixer.hpp"
+#include "mmtag/rf/noise.hpp"
+#include "mmtag/rf/oscillator.hpp"
+
+namespace mmtag::rf {
+namespace {
+
+TEST(noise, thermal_power_minus_174_dbm_per_hz)
+{
+    EXPECT_NEAR(thermal_noise_dbm(1.0), -173.98, 0.05);
+    EXPECT_NEAR(thermal_noise_dbm(1e6), -113.98, 0.05);
+}
+
+TEST(noise, cascade_friis_first_stage_dominates)
+{
+    // LNA: 3 dB NF / 20 dB gain, then a lossy mixer (7 dB NF, -7 dB gain).
+    const rvec nf{3.0, 7.0};
+    const rvec gain{20.0, -7.0};
+    const double total = cascade_noise_figure_db(nf, gain);
+    EXPECT_GT(total, 3.0);
+    EXPECT_LT(total, 3.3); // first stage gain suppresses the mixer's NF
+}
+
+TEST(noise, awgn_power_matches_request)
+{
+    awgn_source source(0.25, 5);
+    cvec buffer(200000, cf64{});
+    source.add_to(buffer);
+    EXPECT_NEAR(dsp::mean_power(buffer), 0.25, 0.01);
+}
+
+TEST(noise, awgn_is_circular)
+{
+    awgn_source source(1.0, 6);
+    double i_power = 0.0;
+    double q_power = 0.0;
+    double cross = 0.0;
+    constexpr int n = 100000;
+    for (int k = 0; k < n; ++k) {
+        const cf64 s = source.sample();
+        i_power += s.real() * s.real();
+        q_power += s.imag() * s.imag();
+        cross += s.real() * s.imag();
+    }
+    EXPECT_NEAR(i_power / n, 0.5, 0.02);
+    EXPECT_NEAR(q_power / n, 0.5, 0.02);
+    EXPECT_NEAR(cross / n, 0.0, 0.02);
+}
+
+TEST(oscillator, cfo_rotation_rate)
+{
+    oscillator::config cfg;
+    cfg.sample_rate_hz = 1e6;
+    cfg.frequency_offset_hz = 1000.0;
+    oscillator lo(cfg, 7);
+    // After 250 samples (250 us) the phase should advance 2 pi * 0.25.
+    cf64 first = lo.step();
+    cf64 last{};
+    for (int i = 0; i < 250; ++i) last = lo.step();
+    const double advance = std::arg(last * std::conj(first));
+    EXPECT_NEAR(advance, two_pi * 1000.0 * 250e-6, 1e-6);
+}
+
+TEST(oscillator, phase_noise_grows_with_linewidth)
+{
+    auto phase_drift = [](double linewidth) {
+        oscillator::config cfg;
+        cfg.sample_rate_hz = 1e8;
+        cfg.linewidth_hz = linewidth;
+        oscillator lo(cfg, 11);
+        dsp::running_stats drift;
+        for (int trial = 0; trial < 200; ++trial) {
+            const double start = lo.phase();
+            for (int i = 0; i < 1000; ++i) (void)lo.step();
+            drift.add(wrap_phase(lo.phase() - start));
+        }
+        return drift.variance();
+    };
+    EXPECT_GT(phase_drift(1e5), phase_drift(1e3) * 10.0);
+}
+
+TEST(oscillator, zero_linewidth_is_deterministic)
+{
+    oscillator::config cfg;
+    cfg.sample_rate_hz = 1e6;
+    cfg.frequency_offset_hz = 0.0;
+    oscillator lo(cfg, 13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_NEAR(std::abs(lo.step() - cf64{1.0, 0.0}), 0.0, 1e-12);
+    }
+}
+
+TEST(lna, small_signal_gain)
+{
+    lna::config cfg;
+    cfg.gain_db = 20.0;
+    cfg.noise_figure_db = 0.01; // effectively noiseless
+    cfg.bandwidth_hz = 1e6;
+    lna amplifier(cfg, 17);
+    const cf64 out = amplifier.process(cf64{1e-3, 0.0});
+    EXPECT_NEAR(std::abs(out), 1e-2, 1e-4);
+}
+
+TEST(lna, output_noise_matches_noise_figure)
+{
+    lna::config cfg;
+    cfg.gain_db = 30.0;
+    cfg.noise_figure_db = 6.0;
+    cfg.bandwidth_hz = 1e9;
+    lna amplifier(cfg, 19);
+    cvec zeros(100000, cf64{});
+    const cvec out = amplifier.process(zeros);
+    const double measured = dsp::mean_power(out);
+    const double expected = (from_db(6.0) - 1.0) * thermal_noise_power(1e9) * from_db(30.0);
+    EXPECT_NEAR(measured / expected, 1.0, 0.05);
+}
+
+TEST(pa, linear_region_gain)
+{
+    power_amplifier::config cfg;
+    cfg.gain_db = 30.0;
+    cfg.output_saturation_dbm = 30.0;
+    power_amplifier pa(cfg);
+    // -20 dBm in -> +10 dBm out, 20 dB below saturation: essentially linear.
+    EXPECT_NEAR(pa.output_power_dbm(-20.0), 10.0, 0.05);
+}
+
+TEST(pa, saturates_at_configured_level)
+{
+    power_amplifier::config cfg;
+    cfg.gain_db = 30.0;
+    cfg.output_saturation_dbm = 30.0;
+    power_amplifier pa(cfg);
+    EXPECT_LT(pa.output_power_dbm(30.0), 30.01);
+    EXPECT_NEAR(pa.output_power_dbm(30.0), 30.0, 0.3);
+}
+
+TEST(pa, p1db_below_saturation)
+{
+    power_amplifier::config cfg;
+    cfg.gain_db = 30.0;
+    cfg.output_saturation_dbm = 30.0;
+    cfg.smoothness = 2.0;
+    power_amplifier pa(cfg);
+    const double p1db_in = pa.input_p1db_dbm();
+    // At the 1 dB compression input, gain must be 29 dB.
+    EXPECT_NEAR(pa.output_power_dbm(p1db_in) - p1db_in, 29.0, 0.05);
+    EXPECT_LT(p1db_in + 30.0, 30.0 + 0.5); // output P1dB below Psat
+}
+
+TEST(pa, preserves_phase)
+{
+    power_amplifier pa{power_amplifier::config{}};
+    const cf64 in = std::polar(0.5, 1.1);
+    const cf64 out = pa.process(in);
+    EXPECT_NEAR(std::arg(out), 1.1, 1e-9);
+}
+
+TEST(mixer, ideal_downconversion_conjugates_lo)
+{
+    quadrature_mixer::config cfg;
+    cfg.conversion_loss_db = 0.0;
+    cfg.lo_leakage_dbc = -200.0;
+    quadrature_mixer mixer(cfg);
+    const cf64 lo = std::polar(1.0, 0.9);
+    const cf64 rf = std::polar(2.0, 1.4);
+    const cf64 bb = mixer.downconvert(rf, lo);
+    EXPECT_NEAR(std::abs(bb), 2.0, 1e-9);
+    EXPECT_NEAR(std::arg(bb), 0.5, 1e-9);
+}
+
+TEST(mixer, conversion_loss_applies)
+{
+    quadrature_mixer::config cfg;
+    cfg.conversion_loss_db = 7.0;
+    cfg.lo_leakage_dbc = -200.0;
+    quadrature_mixer mixer(cfg);
+    const cf64 bb = mixer.downconvert(cf64{1.0, 0.0}, cf64{1.0, 0.0});
+    EXPECT_NEAR(to_db(std::norm(bb)), -7.0, 1e-6);
+}
+
+TEST(mixer, balanced_mixer_has_huge_irr)
+{
+    quadrature_mixer mixer{quadrature_mixer::config{}};
+    EXPECT_GT(mixer.image_rejection_ratio_db(), 1e8);
+}
+
+TEST(mixer, imbalance_sets_image_rejection)
+{
+    quadrature_mixer::config cfg;
+    cfg.iq_gain_imbalance_db = 0.5;
+    cfg.iq_phase_imbalance_deg = 2.0;
+    quadrature_mixer mixer(cfg);
+    const double irr = mixer.image_rejection_ratio_db();
+    EXPECT_GT(irr, 25.0);
+    EXPECT_LT(irr, 40.0); // classic ballpark for 0.5 dB / 2 deg
+}
+
+TEST(adc, quantization_noise_tracks_bits)
+{
+    auto sqnr_for_bits = [](unsigned bits) {
+        adc::config cfg;
+        cfg.bits = bits;
+        cfg.full_scale = 1.0;
+        adc converter(cfg);
+        double signal = 0.0;
+        double noise = 0.0;
+        for (int i = 0; i < 10000; ++i) {
+            const cf64 x = std::polar(0.7, 0.001 * static_cast<double>(i) * 317.0);
+            const cf64 y = converter.sample(x);
+            signal += std::norm(x);
+            noise += std::norm(y - x);
+        }
+        return to_db(signal / noise);
+    };
+    const double sqnr8 = sqnr_for_bits(8);
+    const double sqnr12 = sqnr_for_bits(12);
+    EXPECT_NEAR(sqnr12 - sqnr8, 24.0, 3.0); // ~6 dB per bit
+}
+
+TEST(adc, clips_beyond_full_scale)
+{
+    adc::config cfg;
+    cfg.bits = 8;
+    cfg.full_scale = 1.0;
+    adc converter(cfg);
+    const cf64 y = converter.sample(cf64{5.0, -5.0});
+    EXPECT_LT(y.real(), 1.0);
+    EXPECT_GT(y.imag(), -1.0 - 1e-9);
+}
+
+TEST(adc, ideal_sqnr_formula)
+{
+    adc converter({10, 1.0});
+    EXPECT_NEAR(converter.ideal_sqnr_db(), 61.96, 0.01);
+}
+
+} // namespace
+} // namespace mmtag::rf

@@ -1,0 +1,191 @@
+// Robustness suite: hostile/garbage inputs must never crash, and the
+// integrity layers (CRCs, sync quality gates) must keep false accepts out.
+// Also pins down determinism: identical seeds => identical results.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mmtag/ap/query_encoder.hpp"
+#include "mmtag/core/link_simulator.hpp"
+#include "mmtag/fec/convolutional.hpp"
+#include "mmtag/fec/hamming.hpp"
+#include "mmtag/phy/bitio.hpp"
+#include "mmtag/phy/frame.hpp"
+#include "mmtag/phy/line_code.hpp"
+#include "mmtag/phy/preamble.hpp"
+#include "mmtag/tag/command_decoder.hpp"
+
+namespace mmtag {
+namespace {
+
+cvec random_symbols(std::size_t count, std::uint64_t seed, double sigma = 1.0)
+{
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> g(0.0, sigma);
+    cvec out(count);
+    for (auto& s : out) s = {g(rng), g(rng)};
+    return out;
+}
+
+TEST(robustness, frame_decoder_survives_noise_without_false_accepts)
+{
+    const phy::frame_config cfg{};
+    std::size_t false_accepts = 0;
+    for (std::uint64_t trial = 0; trial < 300; ++trial) {
+        const cvec noise = random_symbols(600, 1000 + trial);
+        const auto result = phy::decode_frame(noise, cfg, 1.0);
+        if (result && result->crc_ok) ++false_accepts;
+    }
+    // Header CRC-8 + length plausibility + payload CRC-32 make a false
+    // accept essentially impossible.
+    EXPECT_EQ(false_accepts, 0u);
+}
+
+TEST(robustness, preamble_detector_gates_noise)
+{
+    std::size_t detections = 0;
+    for (std::uint64_t trial = 0; trial < 200; ++trial) {
+        const cvec noise = random_symbols(400, 5000 + trial);
+        if (phy::detect_preamble(noise, {}, 3.0)) ++detections;
+    }
+    // At quality >= 3 the m-sequence's sidelobe structure keeps noise out.
+    EXPECT_LT(detections, 5u);
+}
+
+TEST(robustness, command_parser_rejects_random_bits)
+{
+    std::size_t accepts = 0;
+    for (std::uint64_t trial = 0; trial < 3000; ++trial) {
+        const auto bits = phy::random_bits(40, 9000 + trial);
+        if (ap::parse_command_bits(bits)) ++accepts;
+    }
+    // CRC-8 (1/256) x valid-kind (4/256): expect ~0.05 accepts in 3000.
+    EXPECT_LT(accepts, 3u);
+}
+
+TEST(robustness, command_decoder_survives_garbage_envelopes)
+{
+    tag::command_decoder::config cfg;
+    cfg.sample_rate_hz = 50e6;
+    cfg.unit_s = 2e-6;
+    const tag::command_decoder decoder(cfg);
+    std::mt19937_64 rng(77);
+    std::uniform_real_distribution<double> level(0.0, 1.0);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> envelope(20000);
+        for (auto& v : envelope) v = level(rng);
+        EXPECT_NO_THROW((void)decoder.decode(envelope));
+    }
+    // Degenerate inputs.
+    EXPECT_FALSE(decoder.decode(std::vector<double>{}).has_value());
+    EXPECT_FALSE(decoder.decode(std::vector<double>(10, 0.5)).has_value());
+}
+
+TEST(robustness, viterbi_handles_random_streams_of_valid_length)
+{
+    for (std::uint64_t trial = 0; trial < 30; ++trial) {
+        const std::size_t info = 50 + trial * 13;
+        const auto garbage =
+            phy::random_bits(fec::coded_length(info, fec::code_rate::half), trial);
+        const auto decoded = fec::viterbi_decode(garbage, fec::code_rate::half);
+        EXPECT_EQ(decoded.size(), info); // wrong data, right shape, no crash
+    }
+}
+
+TEST(robustness, hamming_decoder_any_input)
+{
+    for (std::uint64_t trial = 0; trial < 50; ++trial) {
+        const auto garbage = phy::random_bits(70, 300 + trial);
+        EXPECT_NO_THROW((void)fec::hamming74_decode(garbage));
+    }
+}
+
+TEST(robustness, line_code_decoder_any_input)
+{
+    std::mt19937_64 rng(31);
+    std::normal_distribution<double> g(0.0, 2.0);
+    for (auto code : {phy::line_code::fm0, phy::line_code::miller2,
+                      phy::line_code::miller4}) {
+        std::vector<double> soft(40 * phy::chips_per_bit(code));
+        for (auto& v : soft) v = g(rng);
+        const auto bits = phy::decode_line_code(soft, code);
+        EXPECT_EQ(bits.size(), 40u);
+    }
+}
+
+TEST(robustness, receiver_on_pure_noise_reports_no_frame)
+{
+    auto cfg = core::default_scenario();
+    cfg.sample_rate_hz = 50e6;
+    cfg.symbol_rate_hz = 5e6;
+    cfg.transmitter.sample_rate_hz = cfg.sample_rate_hz;
+    cfg.receiver.sample_rate_hz = cfg.sample_rate_hz;
+    cfg.receiver.samples_per_symbol = 10;
+    cfg.receiver.lna.bandwidth_hz = cfg.sample_rate_hz;
+    cfg.modulator.sample_rate_hz = cfg.sample_rate_hz;
+    ap::ap_receiver receiver(cfg.receiver, 3);
+
+    std::mt19937_64 rng(41);
+    std::normal_distribution<double> g(0.0, 1e-6);
+    cvec antenna(20000);
+    cvec lo(20000, cf64{1.0, 0.0});
+    for (auto& s : antenna) s = {g(rng), g(rng)};
+    const auto rx = receiver.receive(antenna, lo);
+    EXPECT_FALSE(rx.crc_ok);
+}
+
+TEST(robustness, zero_length_payload_round_trips)
+{
+    const phy::frame_config cfg{};
+    const cvec symbols = phy::build_frame({}, cfg);
+    const std::span<const cf64> frame_span{symbols.data() + cfg.preamble.total_symbols(),
+                                           symbols.size() - cfg.preamble.total_symbols()};
+    const auto result = phy::decode_frame(frame_span, cfg, 0.05);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->crc_ok);
+    EXPECT_TRUE(result->payload.empty());
+}
+
+TEST(determinism, identical_seeds_identical_reports)
+{
+    auto cfg = core::default_scenario();
+    cfg.sample_rate_hz = 50e6;
+    cfg.symbol_rate_hz = 5e6;
+    cfg.transmitter.sample_rate_hz = cfg.sample_rate_hz;
+    cfg.receiver.sample_rate_hz = cfg.sample_rate_hz;
+    cfg.receiver.samples_per_symbol = 10;
+    cfg.receiver.lna.bandwidth_hz = cfg.sample_rate_hz;
+    cfg.modulator.sample_rate_hz = cfg.sample_rate_hz;
+    cfg.distance_m = 7.0; // noisy regime so determinism is non-trivial
+
+    core::link_simulator a(cfg);
+    core::link_simulator b(cfg);
+    const auto ra = a.run_trials(6, 32);
+    const auto rb = b.run_trials(6, 32);
+    EXPECT_DOUBLE_EQ(ra.ber, rb.ber);
+    EXPECT_DOUBLE_EQ(ra.mean_snr_db, rb.mean_snr_db);
+    EXPECT_DOUBLE_EQ(ra.goodput_bps, rb.goodput_bps);
+}
+
+TEST(determinism, different_seeds_differ)
+{
+    auto cfg = core::default_scenario();
+    cfg.sample_rate_hz = 50e6;
+    cfg.symbol_rate_hz = 5e6;
+    cfg.transmitter.sample_rate_hz = cfg.sample_rate_hz;
+    cfg.receiver.sample_rate_hz = cfg.sample_rate_hz;
+    cfg.receiver.samples_per_symbol = 10;
+    cfg.receiver.lna.bandwidth_hz = cfg.sample_rate_hz;
+    cfg.modulator.sample_rate_hz = cfg.sample_rate_hz;
+
+    core::link_simulator a(cfg);
+    cfg.seed = 999;
+    core::link_simulator b(cfg);
+    const auto payload = phy::random_bytes(32, 5);
+    const auto ra = a.run_frame(payload);
+    const auto rb = b.run_frame(payload);
+    EXPECT_NE(ra.rx.snr_db, rb.rx.snr_db); // different noise draws
+}
+
+} // namespace
+} // namespace mmtag

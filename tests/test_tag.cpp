@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "mmtag/phy/bitio.hpp"
+#include "mmtag/tag/controller.hpp"
+#include "mmtag/tag/energy_model.hpp"
+#include "mmtag/tag/modulator.hpp"
+#include "mmtag/tag/termination_bank.hpp"
+
+namespace mmtag::tag {
+namespace {
+
+class bank_schemes : public ::testing::TestWithParam<phy::modulation> {};
+
+TEST_P(bank_schemes, realizes_constellation_phases)
+{
+    termination_bank::config cfg;
+    cfg.scheme = GetParam();
+    cfg.stub_loss_db = 0.0;
+    termination_bank bank(cfg);
+    const std::size_t m = phy::constellation_size(GetParam());
+    ASSERT_EQ(bank.state_count(), m);
+    for (std::size_t p = 0; p < m; ++p) {
+        const double target = two_pi * static_cast<double>(p) / static_cast<double>(m);
+        const cf64 gamma = bank.gammas()[p];
+        EXPECT_NEAR(std::abs(gamma), 1.0, 1e-9);
+        EXPECT_NEAR(wrap_phase(std::arg(gamma) - target), 0.0, 1e-9) << "state " << p;
+    }
+}
+
+TEST_P(bank_schemes, passivity)
+{
+    termination_bank::config cfg;
+    cfg.scheme = GetParam();
+    cfg.stub_loss_db = 0.5;
+    cfg.phase_error_rms_rad = 0.05;
+    termination_bank bank(cfg);
+    for (const auto& gamma : bank.gammas()) {
+        EXPECT_LE(std::abs(gamma), 1.0 + 1e-9); // a passive tag cannot amplify
+    }
+}
+
+TEST_P(bank_schemes, state_for_symbol_round_trip)
+{
+    termination_bank::config cfg;
+    cfg.scheme = GetParam();
+    termination_bank bank(cfg);
+    const cvec points = phy::constellation(GetParam());
+    for (const auto& point : points) {
+        const std::size_t state = bank.state_for_symbol(point);
+        // The chosen state's Gamma must point along the requested symbol.
+        const cf64 gamma = bank.gammas()[state];
+        EXPECT_NEAR(wrap_phase(std::arg(gamma) - std::arg(point)), 0.0, 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(schemes, bank_schemes,
+                         ::testing::Values(phy::modulation::bpsk, phy::modulation::qpsk,
+                                           phy::modulation::psk8, phy::modulation::psk16));
+
+TEST(termination_bank, absorb_state_is_matched)
+{
+    termination_bank bank{termination_bank::config{}};
+    EXPECT_NEAR(std::abs(bank.gammas()[bank.absorb_state()]), 0.0, 1e-12);
+    EXPECT_EQ(bank.throw_count(), bank.state_count() + 1);
+    EXPECT_EQ(bank.state_for_symbol(cf64{}), bank.absorb_state());
+}
+
+TEST(termination_bank, loss_appears_in_evm)
+{
+    termination_bank::config lossless;
+    lossless.stub_loss_db = 0.0;
+    termination_bank a(lossless);
+    termination_bank::config lossy;
+    lossy.stub_loss_db = 1.0;
+    termination_bank b(lossy);
+    EXPECT_LT(a.constellation_evm(), 1e-9);
+    EXPECT_GT(b.constellation_evm(), 0.05);
+}
+
+backscatter_modulator::config modulator_config()
+{
+    backscatter_modulator::config cfg;
+    cfg.sample_rate_hz = 250e6;
+    cfg.symbol_rate_hz = 5e6;
+    cfg.frame.scheme = phy::modulation::qpsk;
+    cfg.frame.fec = phy::fec_mode::conv_half;
+    cfg.guard_symbols = 4;
+    return cfg;
+}
+
+TEST(modulator, waveform_length_and_guards)
+{
+    backscatter_modulator mod(modulator_config());
+    const auto frame = mod.modulate(phy::random_bytes(32, 1));
+    const std::size_t sps = mod.samples_per_symbol();
+    EXPECT_EQ(sps, 50u);
+    EXPECT_EQ(frame.gamma.size(), frame.states.size() * sps);
+    EXPECT_EQ(frame.states.size(), frame.symbol_count + 8); // 2 * 4 guards
+    // Guards are absorptive.
+    EXPECT_NEAR(std::abs(frame.gamma.front()), 0.0, 0.05);
+    EXPECT_NEAR(std::abs(frame.gamma.back()), 0.0, 0.05);
+}
+
+TEST(modulator, passivity_of_entire_waveform)
+{
+    backscatter_modulator mod(modulator_config());
+    const auto frame = mod.modulate(phy::random_bytes(64, 2));
+    for (const auto& g : frame.gamma) {
+        EXPECT_LE(std::abs(g), 1.0 + 1e-9);
+    }
+}
+
+TEST(modulator, transition_count_bounded_by_symbols)
+{
+    backscatter_modulator mod(modulator_config());
+    const auto frame = mod.modulate(phy::random_bytes(64, 3));
+    EXPECT_GT(frame.transitions, frame.symbol_count / 4); // random data toggles
+    EXPECT_LT(frame.transitions, frame.states.size());
+}
+
+TEST(modulator, information_rate)
+{
+    backscatter_modulator mod(modulator_config());
+    // QPSK (2 b/sym) * R=1/2 * 5 Msym/s = 5 Mb/s.
+    EXPECT_NEAR(mod.information_rate_bps(), 5e6, 1.0);
+}
+
+TEST(modulator, rejects_symbol_rate_beyond_switch)
+{
+    auto cfg = modulator_config();
+    cfg.rf_switch.rise_fall_time_s = 1e-6; // max 500 kHz
+    EXPECT_THROW(backscatter_modulator{cfg}, simulation_error);
+}
+
+TEST(modulator, rejects_non_integer_sps)
+{
+    auto cfg = modulator_config();
+    cfg.symbol_rate_hz = 3e6; // 250/3 not integer
+    EXPECT_THROW(backscatter_modulator{cfg}, std::invalid_argument);
+}
+
+tag_controller::config controller_config()
+{
+    tag_controller::config cfg;
+    cfg.modulator = modulator_config();
+    cfg.detector.sample_rate_hz = 250e6;
+    cfg.detector.video_bandwidth_hz = 10e6;
+    cfg.detector.responsivity_v_per_w = 2000.0;
+    cfg.detector.noise_equivalent_power_w = 1e-12;
+    cfg.wake_threshold_v = 1e-5;
+    cfg.detect_hold_s = 0.4e-6;
+    cfg.turnaround_s = 1e-6;
+    return cfg;
+}
+
+TEST(controller, responds_to_strong_query)
+{
+    tag_controller controller(controller_config());
+    // -30 dBm incident carrier starting at sample 1000.
+    cvec incident(60000, cf64{});
+    const double amplitude = std::sqrt(1e-6);
+    for (std::size_t i = 1000; i < incident.size(); ++i) incident[i] = {amplitude, 0.0};
+    const auto response = controller.respond_to_query(incident, phy::random_bytes(8, 4));
+    EXPECT_TRUE(response.responded);
+    EXPECT_GT(response.detect_sample, 1000u);
+    EXPECT_LT(response.detect_sample, 2000u);
+    EXPECT_EQ(response.respond_sample, response.detect_sample + 250); // 1 us at 250 MS/s
+    EXPECT_EQ(response.gamma.size(), incident.size());
+}
+
+TEST(controller, stays_quiet_without_carrier)
+{
+    tag_controller controller(controller_config());
+    const cvec incident(20000, cf64{});
+    const auto response = controller.respond_to_query(incident, phy::random_bytes(8, 5));
+    EXPECT_FALSE(response.responded);
+    for (const auto& g : response.gamma) {
+        EXPECT_NEAR(std::abs(g), 0.0, 1e-9); // absorptive throughout
+    }
+}
+
+TEST(controller, too_short_window_no_response)
+{
+    auto cfg = controller_config();
+    cfg.turnaround_s = 1e-3; // longer than the window
+    tag_controller controller(cfg);
+    cvec incident(5000, cf64{1e-3, 0.0});
+    const auto response = controller.respond_to_query(incident, phy::random_bytes(8, 6));
+    EXPECT_FALSE(response.responded);
+}
+
+TEST(energy, per_mode_ordering)
+{
+    energy_model model;
+    EXPECT_LT(model.sleep_power_w(), model.listen_power_w());
+    EXPECT_LT(model.listen_power_w(), model.transmit_power_w(5e6, 0.75));
+}
+
+TEST(energy, transmit_power_scales_with_rate)
+{
+    energy_model model;
+    const double slow = model.transmit_power_w(1e6, 0.75);
+    const double fast = model.transmit_power_w(50e6, 0.75);
+    EXPECT_GT(fast, slow);
+    // Dynamic part is linear in rate.
+    const auto& cfg = model.parameters();
+    EXPECT_NEAR(fast - slow, 49e6 * 0.75 * cfg.energy_per_transition_j, 1e-6);
+}
+
+TEST(energy, frame_energy_consistency)
+{
+    backscatter_modulator mod(modulator_config());
+    const auto frame = mod.modulate(phy::random_bytes(32, 7));
+    energy_model model;
+    const double energy = model.frame_energy_j(frame);
+    const auto& cfg = model.parameters();
+    const double static_part =
+        (cfg.mcu_active_w + cfg.switch_static_w + cfg.detector_bias_w) * frame.duration_s;
+    EXPECT_NEAR(energy - static_part,
+                static_cast<double>(frame.transitions) * cfg.energy_per_transition_j, 1e-12);
+}
+
+TEST(energy, per_bit_anchor_order_of_magnitude)
+{
+    // The reconstructed anchor: a few nJ/bit at ~10 Mbps-class rates.
+    energy_model model;
+    phy::frame_config frame;
+    frame.scheme = phy::modulation::qpsk;
+    frame.fec = phy::fec_mode::uncoded;
+    const double epb = model.energy_per_bit(frame, 5e6); // 10 Mb/s
+    EXPECT_GT(epb, 0.5e-9);
+    EXPECT_LT(epb, 10e-9);
+}
+
+TEST(energy, efficiency_improves_with_rate)
+{
+    // Static power amortizes across more bits at higher rates.
+    energy_model model;
+    phy::frame_config frame;
+    frame.scheme = phy::modulation::qpsk;
+    frame.fec = phy::fec_mode::uncoded;
+    EXPECT_GT(model.energy_per_bit(frame, 1e6), model.energy_per_bit(frame, 50e6));
+}
+
+} // namespace
+} // namespace mmtag::tag

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "mmtag/dsp/window.hpp"
+
+namespace mmtag::dsp {
+namespace {
+
+class window_properties : public ::testing::TestWithParam<window_kind> {};
+
+TEST_P(window_properties, symmetric)
+{
+    const rvec w = make_window(GetParam(), 65);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    }
+}
+
+TEST_P(window_properties, nonnegative_and_bounded)
+{
+    const rvec w = make_window(GetParam(), 128);
+    for (double v : w) {
+        EXPECT_GE(v, -1e-6);
+        EXPECT_LE(v, 1.0 + 1e-12);
+    }
+}
+
+TEST_P(window_properties, noise_bandwidth_at_least_one_bin)
+{
+    const rvec w = make_window(GetParam(), 256);
+    EXPECT_GE(noise_bandwidth_bins(w), 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(kinds, window_properties,
+                         ::testing::Values(window_kind::rectangular, window_kind::hann,
+                                           window_kind::hamming, window_kind::blackman,
+                                           window_kind::blackman_harris));
+
+TEST(window, rectangular_is_all_ones)
+{
+    const rvec w = make_window(window_kind::rectangular, 8);
+    for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+    EXPECT_DOUBLE_EQ(coherent_gain(w), 8.0);
+    EXPECT_NEAR(noise_bandwidth_bins(w), 1.0, 1e-12);
+}
+
+TEST(window, hann_endpoints_are_zero)
+{
+    const rvec w = make_window(window_kind::hann, 33);
+    EXPECT_NEAR(w.front(), 0.0, 1e-12);
+    EXPECT_NEAR(w.back(), 0.0, 1e-12);
+    EXPECT_NEAR(w[16], 1.0, 1e-12); // center
+}
+
+TEST(window, hann_noise_bandwidth_is_1_5_bins)
+{
+    // Asymptotic ENBW of Hann is 1.5 bins.
+    const rvec w = make_window(window_kind::hann, 4096);
+    EXPECT_NEAR(noise_bandwidth_bins(w), 1.5, 0.01);
+}
+
+TEST(window, length_one_is_unity)
+{
+    for (auto kind : {window_kind::hann, window_kind::blackman}) {
+        const rvec w = make_window(kind, 1);
+        ASSERT_EQ(w.size(), 1u);
+        EXPECT_DOUBLE_EQ(w[0], 1.0);
+    }
+}
+
+TEST(window, zero_length_rejected)
+{
+    EXPECT_THROW((void)make_window(window_kind::hann, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mmtag::dsp

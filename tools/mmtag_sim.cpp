@@ -1,0 +1,8 @@
+// mmtag_sim: the command-line front end to the mmtag simulator.
+// All logic lives in mmtag::cli (unit tested); this is just main().
+#include "mmtag/cli/commands.hpp"
+
+int main(int argc, char** argv)
+{
+    return mmtag::cli::dispatch(argc, argv);
+}
