@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r01_van_atta_pattern.dir/bench_r01_van_atta_pattern.cpp.o"
+  "CMakeFiles/bench_r01_van_atta_pattern.dir/bench_r01_van_atta_pattern.cpp.o.d"
+  "bench_r01_van_atta_pattern"
+  "bench_r01_van_atta_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r01_van_atta_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

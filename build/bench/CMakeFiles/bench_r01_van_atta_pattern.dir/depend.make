@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_r01_van_atta_pattern.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r02_constellation.dir/bench_r02_constellation.cpp.o"
+  "CMakeFiles/bench_r02_constellation.dir/bench_r02_constellation.cpp.o.d"
+  "bench_r02_constellation"
+  "bench_r02_constellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r02_constellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

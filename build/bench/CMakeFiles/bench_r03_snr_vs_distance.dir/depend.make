@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_r03_snr_vs_distance.
+# This may be replaced when dependencies are built.

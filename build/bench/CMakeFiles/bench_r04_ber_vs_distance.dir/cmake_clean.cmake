@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r04_ber_vs_distance.dir/bench_r04_ber_vs_distance.cpp.o"
+  "CMakeFiles/bench_r04_ber_vs_distance.dir/bench_r04_ber_vs_distance.cpp.o.d"
+  "bench_r04_ber_vs_distance"
+  "bench_r04_ber_vs_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r04_ber_vs_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

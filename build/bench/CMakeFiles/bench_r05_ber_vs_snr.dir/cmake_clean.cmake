@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r05_ber_vs_snr.dir/bench_r05_ber_vs_snr.cpp.o"
+  "CMakeFiles/bench_r05_ber_vs_snr.dir/bench_r05_ber_vs_snr.cpp.o.d"
+  "bench_r05_ber_vs_snr"
+  "bench_r05_ber_vs_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r05_ber_vs_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

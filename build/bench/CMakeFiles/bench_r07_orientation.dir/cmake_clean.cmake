@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r07_orientation.dir/bench_r07_orientation.cpp.o"
+  "CMakeFiles/bench_r07_orientation.dir/bench_r07_orientation.cpp.o.d"
+  "bench_r07_orientation"
+  "bench_r07_orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r07_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

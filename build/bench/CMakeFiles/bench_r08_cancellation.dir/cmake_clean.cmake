@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r08_cancellation.dir/bench_r08_cancellation.cpp.o"
+  "CMakeFiles/bench_r08_cancellation.dir/bench_r08_cancellation.cpp.o.d"
+  "bench_r08_cancellation"
+  "bench_r08_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r08_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r09_inventory.dir/bench_r09_inventory.cpp.o"
+  "CMakeFiles/bench_r09_inventory.dir/bench_r09_inventory.cpp.o.d"
+  "bench_r09_inventory"
+  "bench_r09_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r09_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

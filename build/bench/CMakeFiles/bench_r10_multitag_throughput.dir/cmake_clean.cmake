@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r10_multitag_throughput.dir/bench_r10_multitag_throughput.cpp.o"
+  "CMakeFiles/bench_r10_multitag_throughput.dir/bench_r10_multitag_throughput.cpp.o.d"
+  "bench_r10_multitag_throughput"
+  "bench_r10_multitag_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r10_multitag_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r11_energy.dir/bench_r11_energy.cpp.o"
+  "CMakeFiles/bench_r11_energy.dir/bench_r11_energy.cpp.o.d"
+  "bench_r11_energy"
+  "bench_r11_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r11_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r12_fec_gain.dir/bench_r12_fec_gain.cpp.o"
+  "CMakeFiles/bench_r12_fec_gain.dir/bench_r12_fec_gain.cpp.o.d"
+  "bench_r12_fec_gain"
+  "bench_r12_fec_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r12_fec_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

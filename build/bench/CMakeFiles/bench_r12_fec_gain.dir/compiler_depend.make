@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_r12_fec_gain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_r12_fec_gain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r13_switch_speed.dir/bench_r13_switch_speed.cpp.o"
+  "CMakeFiles/bench_r13_switch_speed.dir/bench_r13_switch_speed.cpp.o.d"
+  "bench_r13_switch_speed"
+  "bench_r13_switch_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r13_switch_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_r13_switch_speed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r14_impairments.dir/bench_r14_impairments.cpp.o"
+  "CMakeFiles/bench_r14_impairments.dir/bench_r14_impairments.cpp.o.d"
+  "bench_r14_impairments"
+  "bench_r14_impairments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r14_impairments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

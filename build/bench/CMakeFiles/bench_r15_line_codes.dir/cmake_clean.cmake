@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r15_line_codes.dir/bench_r15_line_codes.cpp.o"
+  "CMakeFiles/bench_r15_line_codes.dir/bench_r15_line_codes.cpp.o.d"
+  "bench_r15_line_codes"
+  "bench_r15_line_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r15_line_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

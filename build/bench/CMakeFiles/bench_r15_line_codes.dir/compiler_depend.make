@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_r15_line_codes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_r15_line_codes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r16_lo_architecture.dir/bench_r16_lo_architecture.cpp.o"
+  "CMakeFiles/bench_r16_lo_architecture.dir/bench_r16_lo_architecture.cpp.o.d"
+  "bench_r16_lo_architecture"
+  "bench_r16_lo_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r16_lo_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r17_fading.dir/bench_r17_fading.cpp.o"
+  "CMakeFiles/bench_r17_fading.dir/bench_r17_fading.cpp.o.d"
+  "bench_r17_fading"
+  "bench_r17_fading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r17_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

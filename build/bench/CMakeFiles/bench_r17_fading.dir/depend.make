@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_r17_fading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r18_collisions.dir/bench_r18_collisions.cpp.o"
+  "CMakeFiles/bench_r18_collisions.dir/bench_r18_collisions.cpp.o.d"
+  "bench_r18_collisions"
+  "bench_r18_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r18_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

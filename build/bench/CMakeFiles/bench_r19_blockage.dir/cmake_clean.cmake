@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r19_blockage.dir/bench_r19_blockage.cpp.o"
+  "CMakeFiles/bench_r19_blockage.dir/bench_r19_blockage.cpp.o.d"
+  "bench_r19_blockage"
+  "bench_r19_blockage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r19_blockage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r20_sampled_inventory.dir/bench_r20_sampled_inventory.cpp.o"
+  "CMakeFiles/bench_r20_sampled_inventory.dir/bench_r20_sampled_inventory.cpp.o.d"
+  "bench_r20_sampled_inventory"
+  "bench_r20_sampled_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r20_sampled_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_r20_sampled_inventory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_budget.dir/link_budget.cpp.o"
+  "CMakeFiles/link_budget.dir/link_budget.cpp.o.d"
+  "link_budget"
+  "link_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

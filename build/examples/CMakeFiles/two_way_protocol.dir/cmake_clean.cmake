@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_way_protocol.dir/two_way_protocol.cpp.o"
+  "CMakeFiles/two_way_protocol.dir/two_way_protocol.cpp.o.d"
+  "two_way_protocol"
+  "two_way_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_way_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

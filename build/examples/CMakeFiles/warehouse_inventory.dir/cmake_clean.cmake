@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_inventory.dir/warehouse_inventory.cpp.o"
+  "CMakeFiles/warehouse_inventory.dir/warehouse_inventory.cpp.o.d"
+  "warehouse_inventory"
+  "warehouse_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

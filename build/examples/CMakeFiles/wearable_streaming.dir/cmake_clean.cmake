@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearable_streaming.dir/wearable_streaming.cpp.o"
+  "CMakeFiles/wearable_streaming.dir/wearable_streaming.cpp.o.d"
+  "wearable_streaming"
+  "wearable_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearable_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmtag/antenna/array.cpp" "src/CMakeFiles/mmtag.dir/mmtag/antenna/array.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/antenna/array.cpp.o.d"
+  "/root/repo/src/mmtag/antenna/element.cpp" "src/CMakeFiles/mmtag.dir/mmtag/antenna/element.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/antenna/element.cpp.o.d"
+  "/root/repo/src/mmtag/antenna/termination.cpp" "src/CMakeFiles/mmtag.dir/mmtag/antenna/termination.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/antenna/termination.cpp.o.d"
+  "/root/repo/src/mmtag/antenna/van_atta.cpp" "src/CMakeFiles/mmtag.dir/mmtag/antenna/van_atta.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/antenna/van_atta.cpp.o.d"
+  "/root/repo/src/mmtag/ap/canceller.cpp" "src/CMakeFiles/mmtag.dir/mmtag/ap/canceller.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/ap/canceller.cpp.o.d"
+  "/root/repo/src/mmtag/ap/query_encoder.cpp" "src/CMakeFiles/mmtag.dir/mmtag/ap/query_encoder.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/ap/query_encoder.cpp.o.d"
+  "/root/repo/src/mmtag/ap/rate_adaptation.cpp" "src/CMakeFiles/mmtag.dir/mmtag/ap/rate_adaptation.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/ap/rate_adaptation.cpp.o.d"
+  "/root/repo/src/mmtag/ap/receiver.cpp" "src/CMakeFiles/mmtag.dir/mmtag/ap/receiver.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/ap/receiver.cpp.o.d"
+  "/root/repo/src/mmtag/ap/transmitter.cpp" "src/CMakeFiles/mmtag.dir/mmtag/ap/transmitter.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/ap/transmitter.cpp.o.d"
+  "/root/repo/src/mmtag/channel/atmosphere.cpp" "src/CMakeFiles/mmtag.dir/mmtag/channel/atmosphere.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/channel/atmosphere.cpp.o.d"
+  "/root/repo/src/mmtag/channel/backscatter_channel.cpp" "src/CMakeFiles/mmtag.dir/mmtag/channel/backscatter_channel.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/channel/backscatter_channel.cpp.o.d"
+  "/root/repo/src/mmtag/channel/blockage.cpp" "src/CMakeFiles/mmtag.dir/mmtag/channel/blockage.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/channel/blockage.cpp.o.d"
+  "/root/repo/src/mmtag/channel/fading.cpp" "src/CMakeFiles/mmtag.dir/mmtag/channel/fading.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/channel/fading.cpp.o.d"
+  "/root/repo/src/mmtag/channel/path_loss.cpp" "src/CMakeFiles/mmtag.dir/mmtag/channel/path_loss.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/channel/path_loss.cpp.o.d"
+  "/root/repo/src/mmtag/cli/commands.cpp" "src/CMakeFiles/mmtag.dir/mmtag/cli/commands.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/cli/commands.cpp.o.d"
+  "/root/repo/src/mmtag/cli/options.cpp" "src/CMakeFiles/mmtag.dir/mmtag/cli/options.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/cli/options.cpp.o.d"
+  "/root/repo/src/mmtag/core/baselines.cpp" "src/CMakeFiles/mmtag.dir/mmtag/core/baselines.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/core/baselines.cpp.o.d"
+  "/root/repo/src/mmtag/core/config.cpp" "src/CMakeFiles/mmtag.dir/mmtag/core/config.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/core/config.cpp.o.d"
+  "/root/repo/src/mmtag/core/inventory_round.cpp" "src/CMakeFiles/mmtag.dir/mmtag/core/inventory_round.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/core/inventory_round.cpp.o.d"
+  "/root/repo/src/mmtag/core/link_budget.cpp" "src/CMakeFiles/mmtag.dir/mmtag/core/link_budget.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/core/link_budget.cpp.o.d"
+  "/root/repo/src/mmtag/core/link_simulator.cpp" "src/CMakeFiles/mmtag.dir/mmtag/core/link_simulator.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/core/link_simulator.cpp.o.d"
+  "/root/repo/src/mmtag/core/metrics.cpp" "src/CMakeFiles/mmtag.dir/mmtag/core/metrics.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/core/metrics.cpp.o.d"
+  "/root/repo/src/mmtag/core/multitag_simulator.cpp" "src/CMakeFiles/mmtag.dir/mmtag/core/multitag_simulator.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/core/multitag_simulator.cpp.o.d"
+  "/root/repo/src/mmtag/core/network.cpp" "src/CMakeFiles/mmtag.dir/mmtag/core/network.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/core/network.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/agc.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/agc.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/agc.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/carrier_recovery.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/carrier_recovery.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/carrier_recovery.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/dc_blocker.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/dc_blocker.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/dc_blocker.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/equalizer.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/equalizer.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/equalizer.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/estimators.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/estimators.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/estimators.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/fft.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/fft.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/fir.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/fir.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/fir.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/goertzel.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/goertzel.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/goertzel.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/iir.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/iir.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/iir.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/nco.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/nco.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/nco.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/pn_sequence.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/pn_sequence.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/pn_sequence.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/psd.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/psd.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/psd.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/pulse_shape.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/pulse_shape.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/pulse_shape.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/resampler.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/resampler.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/resampler.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/timing_recovery.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/timing_recovery.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/timing_recovery.cpp.o.d"
+  "/root/repo/src/mmtag/dsp/window.cpp" "src/CMakeFiles/mmtag.dir/mmtag/dsp/window.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/dsp/window.cpp.o.d"
+  "/root/repo/src/mmtag/fec/convolutional.cpp" "src/CMakeFiles/mmtag.dir/mmtag/fec/convolutional.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/fec/convolutional.cpp.o.d"
+  "/root/repo/src/mmtag/fec/crc.cpp" "src/CMakeFiles/mmtag.dir/mmtag/fec/crc.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/fec/crc.cpp.o.d"
+  "/root/repo/src/mmtag/fec/hamming.cpp" "src/CMakeFiles/mmtag.dir/mmtag/fec/hamming.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/fec/hamming.cpp.o.d"
+  "/root/repo/src/mmtag/fec/interleaver.cpp" "src/CMakeFiles/mmtag.dir/mmtag/fec/interleaver.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/fec/interleaver.cpp.o.d"
+  "/root/repo/src/mmtag/fec/repetition.cpp" "src/CMakeFiles/mmtag.dir/mmtag/fec/repetition.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/fec/repetition.cpp.o.d"
+  "/root/repo/src/mmtag/fec/scrambler.cpp" "src/CMakeFiles/mmtag.dir/mmtag/fec/scrambler.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/fec/scrambler.cpp.o.d"
+  "/root/repo/src/mmtag/mac/arq.cpp" "src/CMakeFiles/mmtag.dir/mmtag/mac/arq.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/mac/arq.cpp.o.d"
+  "/root/repo/src/mmtag/mac/slotted_aloha.cpp" "src/CMakeFiles/mmtag.dir/mmtag/mac/slotted_aloha.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/mac/slotted_aloha.cpp.o.d"
+  "/root/repo/src/mmtag/mac/tdma.cpp" "src/CMakeFiles/mmtag.dir/mmtag/mac/tdma.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/mac/tdma.cpp.o.d"
+  "/root/repo/src/mmtag/phy/bitio.cpp" "src/CMakeFiles/mmtag.dir/mmtag/phy/bitio.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/phy/bitio.cpp.o.d"
+  "/root/repo/src/mmtag/phy/frame.cpp" "src/CMakeFiles/mmtag.dir/mmtag/phy/frame.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/phy/frame.cpp.o.d"
+  "/root/repo/src/mmtag/phy/line_code.cpp" "src/CMakeFiles/mmtag.dir/mmtag/phy/line_code.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/phy/line_code.cpp.o.d"
+  "/root/repo/src/mmtag/phy/modulation.cpp" "src/CMakeFiles/mmtag.dir/mmtag/phy/modulation.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/phy/modulation.cpp.o.d"
+  "/root/repo/src/mmtag/phy/preamble.cpp" "src/CMakeFiles/mmtag.dir/mmtag/phy/preamble.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/phy/preamble.cpp.o.d"
+  "/root/repo/src/mmtag/rf/adc.cpp" "src/CMakeFiles/mmtag.dir/mmtag/rf/adc.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/rf/adc.cpp.o.d"
+  "/root/repo/src/mmtag/rf/amplifier.cpp" "src/CMakeFiles/mmtag.dir/mmtag/rf/amplifier.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/rf/amplifier.cpp.o.d"
+  "/root/repo/src/mmtag/rf/envelope_detector.cpp" "src/CMakeFiles/mmtag.dir/mmtag/rf/envelope_detector.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/rf/envelope_detector.cpp.o.d"
+  "/root/repo/src/mmtag/rf/mixer.cpp" "src/CMakeFiles/mmtag.dir/mmtag/rf/mixer.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/rf/mixer.cpp.o.d"
+  "/root/repo/src/mmtag/rf/noise.cpp" "src/CMakeFiles/mmtag.dir/mmtag/rf/noise.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/rf/noise.cpp.o.d"
+  "/root/repo/src/mmtag/rf/oscillator.cpp" "src/CMakeFiles/mmtag.dir/mmtag/rf/oscillator.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/rf/oscillator.cpp.o.d"
+  "/root/repo/src/mmtag/rf/rf_switch.cpp" "src/CMakeFiles/mmtag.dir/mmtag/rf/rf_switch.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/rf/rf_switch.cpp.o.d"
+  "/root/repo/src/mmtag/tag/addressable_tag.cpp" "src/CMakeFiles/mmtag.dir/mmtag/tag/addressable_tag.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/tag/addressable_tag.cpp.o.d"
+  "/root/repo/src/mmtag/tag/command_decoder.cpp" "src/CMakeFiles/mmtag.dir/mmtag/tag/command_decoder.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/tag/command_decoder.cpp.o.d"
+  "/root/repo/src/mmtag/tag/controller.cpp" "src/CMakeFiles/mmtag.dir/mmtag/tag/controller.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/tag/controller.cpp.o.d"
+  "/root/repo/src/mmtag/tag/energy_model.cpp" "src/CMakeFiles/mmtag.dir/mmtag/tag/energy_model.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/tag/energy_model.cpp.o.d"
+  "/root/repo/src/mmtag/tag/modulator.cpp" "src/CMakeFiles/mmtag.dir/mmtag/tag/modulator.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/tag/modulator.cpp.o.d"
+  "/root/repo/src/mmtag/tag/termination_bank.cpp" "src/CMakeFiles/mmtag.dir/mmtag/tag/termination_bank.cpp.o" "gcc" "src/CMakeFiles/mmtag.dir/mmtag/tag/termination_bank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_addressable_tag.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_addressable_tag.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_addressable_tag.cpp.o.d"
+  "/root/repo/tests/test_antenna.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_antenna.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_antenna.cpp.o.d"
+  "/root/repo/tests/test_ap.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_ap.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_ap.cpp.o.d"
+  "/root/repo/tests/test_carrier_equalizer.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_carrier_equalizer.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_carrier_equalizer.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_command_channel.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_command_channel.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_command_channel.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_crc_scrambler.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_crc_scrambler.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_crc_scrambler.cpp.o.d"
+  "/root/repo/tests/test_estimators.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_estimators.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_estimators.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fec_codes.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_fec_codes.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_fec_codes.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_fir.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_fir.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_fir.cpp.o.d"
+  "/root/repo/tests/test_goertzel_presets.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_goertzel_presets.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_goertzel_presets.cpp.o.d"
+  "/root/repo/tests/test_iir.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_iir.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_iir.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_inventory_sample_level.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_inventory_sample_level.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_inventory_sample_level.cpp.o.d"
+  "/root/repo/tests/test_line_code.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_line_code.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_line_code.cpp.o.d"
+  "/root/repo/tests/test_link_matrix.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_link_matrix.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_link_matrix.cpp.o.d"
+  "/root/repo/tests/test_mac.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_mac.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_mac.cpp.o.d"
+  "/root/repo/tests/test_modulation.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_modulation.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_modulation.cpp.o.d"
+  "/root/repo/tests/test_phy_frame.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_phy_frame.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_phy_frame.cpp.o.d"
+  "/root/repo/tests/test_pn_sequence.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_pn_sequence.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_pn_sequence.cpp.o.d"
+  "/root/repo/tests/test_psd_blockage.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_psd_blockage.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_psd_blockage.cpp.o.d"
+  "/root/repo/tests/test_pulse_timing.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_pulse_timing.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_pulse_timing.cpp.o.d"
+  "/root/repo/tests/test_resampler_nco.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_resampler_nco.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_resampler_nco.cpp.o.d"
+  "/root/repo/tests/test_rf_models.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_rf_models.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_rf_models.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_switch_detector.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_switch_detector.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_switch_detector.cpp.o.d"
+  "/root/repo/tests/test_tag.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_tag.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_tag.cpp.o.d"
+  "/root/repo/tests/test_window.cpp" "tests/CMakeFiles/mmtag_tests.dir/test_window.cpp.o" "gcc" "tests/CMakeFiles/mmtag_tests.dir/test_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmtag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtag_sim.dir/mmtag_sim.cpp.o"
+  "CMakeFiles/mmtag_sim.dir/mmtag_sim.cpp.o.d"
+  "mmtag_sim"
+  "mmtag_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtag_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
