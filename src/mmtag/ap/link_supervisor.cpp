@@ -1,0 +1,164 @@
+#include "mmtag/ap/link_supervisor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmtag::ap {
+
+double recovery_metrics::mean_detect_s() const
+{
+    if (outages == 0) return 0.0;
+    return detect_total_s / static_cast<double>(outages);
+}
+
+double recovery_metrics::mean_recover_s() const
+{
+    if (recoveries == 0) return 0.0;
+    return recover_total_s / static_cast<double>(recoveries);
+}
+
+link_supervisor::link_supervisor(const supervisor_config& cfg, rate_option nominal_rate)
+    : cfg_(cfg),
+      arq_(cfg.arq),
+      adapter_(cfg.margin_db),
+      nominal_rate_(nominal_rate),
+      rate_(nominal_rate)
+{
+    if (cfg.outage_streak == 0) {
+        throw std::invalid_argument("link_supervisor: outage_streak must be >= 1");
+    }
+    if (cfg.watchdog_probes == 0) {
+        throw std::invalid_argument("link_supervisor: watchdog_probes must be >= 1");
+    }
+    if (cfg.reacquisition_time_s < 0.0) {
+        throw std::invalid_argument("link_supervisor: reacquisition time must be >= 0");
+    }
+}
+
+link_supervisor::plan link_supervisor::next_attempt() const
+{
+    plan p;
+    p.rate = rate_;
+    if (state_ == supervisor_state::outage) {
+        if (cfg_.rate_fallback) p.rate = rate_table().front();
+        // Probe instead of retransmitting: a full data frame sent into an
+        // outage is airtime lost, so test the link with a short frame first.
+        p.probe = true;
+        // Backoff counts from the outage declaration: pre-outage retries go
+        // out immediately (plain ARQ), so a short fade costs nothing extra.
+        p.wait_s = arq_.backoff_delay_s(
+            std::min<std::size_t>(fail_streak_ + 1 - cfg_.outage_streak, 32));
+        p.reacquire = probes_since_reacquire_ >= cfg_.watchdog_probes;
+    }
+    return p;
+}
+
+void link_supervisor::record(bool delivered, double snr_db, double now_s, bool was_probe)
+{
+    if (was_probe) {
+        ++metrics_.probes;
+    } else {
+        ++metrics_.transmissions;
+    }
+    if (delivered) {
+        if (state_ == supervisor_state::outage) {
+            ++metrics_.recoveries;
+            const double recover = std::max(0.0, now_s - declared_s_);
+            metrics_.recover_total_s += recover;
+            metrics_.recover_max_s = std::max(metrics_.recover_max_s, recover);
+        }
+        state_ = supervisor_state::nominal;
+        fail_streak_ = 0;
+        probes_since_reacquire_ = 0;
+        if (cfg_.rate_fallback) {
+            rate_option adapted = adapter_.select_smoothed(snr_db);
+            // Ramp back up, but never above the configured nominal rate.
+            if (adapted.efficiency() > nominal_rate_.efficiency()) {
+                adapted = nominal_rate_;
+            }
+            rate_ = adapted;
+        }
+        return;
+    }
+
+    if (fail_streak_ == 0) first_fail_s_ = now_s;
+    ++fail_streak_;
+    if (state_ == supervisor_state::outage) {
+        ++probes_since_reacquire_;
+    } else if (fail_streak_ >= cfg_.outage_streak) {
+        state_ = supervisor_state::outage;
+        ++metrics_.outages;
+        declared_s_ = now_s;
+        const double detect = std::max(0.0, now_s - first_fail_s_);
+        metrics_.detect_total_s += detect;
+        metrics_.detect_max_s = std::max(metrics_.detect_max_s, detect);
+        probes_since_reacquire_ = 0;
+    } else {
+        state_ = supervisor_state::alert;
+    }
+}
+
+void link_supervisor::note_reacquisition()
+{
+    ++metrics_.reacquisitions;
+    probes_since_reacquire_ = 0;
+}
+
+double supervised_report::delivery_ratio() const
+{
+    if (frames_offered == 0) return 0.0;
+    return static_cast<double>(frames_delivered) / static_cast<double>(frames_offered);
+}
+
+double supervised_report::goodput_retained(double fault_free_goodput_bps) const
+{
+    if (fault_free_goodput_bps <= 0.0) return 0.0;
+    return goodput_bps / fault_free_goodput_bps;
+}
+
+supervised_report run_supervised(const supervisor_config& cfg,
+                                 const rate_option& nominal_rate,
+                                 const link_driver& driver, std::size_t frames,
+                                 double payload_bits)
+{
+    if (!driver.transmit || !driver.now) {
+        throw std::invalid_argument("run_supervised: transmit and now are required");
+    }
+    link_supervisor supervisor(cfg, nominal_rate);
+    supervised_report report;
+    const double start_s = driver.now();
+
+    for (std::size_t f = 0; f < frames; ++f) {
+        ++report.frames_offered;
+        if (driver.next_frame) driver.next_frame(f);
+        for (std::size_t attempt = 0; attempt < cfg.arq.max_retries; ++attempt) {
+            const auto plan = supervisor.next_attempt();
+            if (plan.reacquire && driver.reacquire) {
+                driver.reacquire();
+                supervisor.note_reacquisition();
+            }
+            if (plan.wait_s > 0.0 && driver.wait) driver.wait(plan.wait_s);
+            const bool probing = plan.probe && static_cast<bool>(driver.probe);
+            const attempt_result result =
+                probing ? driver.probe(plan.rate) : driver.transmit(plan.rate);
+            supervisor.record(result.delivered, result.snr_db, driver.now(), probing);
+            // A successful probe proves the link is back but carries no
+            // payload; the data frame goes out on the next attempt at the
+            // freshly adapted rate.
+            if (!probing && result.delivered) {
+                ++report.frames_delivered;
+                break;
+            }
+        }
+    }
+
+    report.recovery = supervisor.metrics();
+    report.elapsed_s = driver.now() - start_s;
+    report.goodput_bps =
+        report.elapsed_s > 0.0
+            ? static_cast<double>(report.frames_delivered) * payload_bits / report.elapsed_s
+            : 0.0;
+    return report;
+}
+
+} // namespace mmtag::ap

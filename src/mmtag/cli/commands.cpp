@@ -9,6 +9,8 @@
 #include "mmtag/core/link_simulator.hpp"
 #include "mmtag/core/metrics.hpp"
 #include "mmtag/core/network.hpp"
+#include "mmtag/core/supervised_link.hpp"
+#include "mmtag/fault/fault_injector.hpp"
 #include "mmtag/mac/slotted_aloha.hpp"
 
 namespace mmtag::cli {
@@ -161,6 +163,73 @@ int run_inventory(const option_set& options)
     return incomplete == 0 ? 0 : 2;
 }
 
+int run_faults(const option_set& options)
+{
+    const double fault_rate = options.get_double("fault-rate", 150.0);
+    const double mean_duration_ms = options.get_double("mean-duration", 2.0);
+    const auto frames = static_cast<std::size_t>(options.get_int("frames", 300));
+    const auto payload = static_cast<std::size_t>(options.get_int("payload", 24));
+    const double distance = options.get_double("distance", 4.0);
+    const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 11));
+    const auto fault_seed = static_cast<std::uint64_t>(options.get_int("fault-seed", 42));
+    reject_leftovers(options);
+    if (fault_rate < 0.0) throw std::invalid_argument("--fault-rate must be >= 0");
+    if (mean_duration_ms <= 0.0) {
+        throw std::invalid_argument("--mean-duration must be > 0");
+    }
+    if (frames == 0) throw std::invalid_argument("--frames must be >= 1");
+
+    auto cfg = cli_scenario();
+    cfg.distance_m = distance;
+    cfg.seed = seed;
+
+    fault::fault_schedule::config sched_cfg;
+    sched_cfg.horizon_s = 0.12;
+    sched_cfg.event_rate_hz = fault_rate;
+    sched_cfg.mean_duration_s = mean_duration_ms * 1e-3;
+    const fault::fault_schedule schedule(sched_cfg, fault_seed);
+
+    std::printf("faults: %.0f events/s, mean %.1f ms, %zu frames x %zu B, "
+                "fault seed %llu\n",
+                fault_rate, mean_duration_ms, frames, payload,
+                static_cast<unsigned long long>(fault_seed));
+    for (const auto kind :
+         {fault::fault_kind::blockage, fault::fault_kind::carrier_dropout,
+          fault::fault_kind::lo_step, fault::fault_kind::interferer,
+          fault::fault_kind::brownout}) {
+        std::printf("  %-16s %zu scheduled\n", fault::fault_kind_name(kind),
+                    schedule.count(kind));
+    }
+
+    const ap::supervisor_config sup_cfg{};
+    core::link_simulator sup_link(cfg);
+    fault::fault_injector sup_faults{schedule};
+    const auto sup = core::run_supervised_link(
+        sup_link, fault_rate > 0.0 ? &sup_faults : nullptr, sup_cfg, frames, payload);
+
+    core::link_simulator base_link(cfg);
+    fault::fault_injector base_faults{schedule};
+    const auto base = core::run_baseline_link(
+        base_link, fault_rate > 0.0 ? &base_faults : nullptr, 8, frames, payload);
+
+    std::printf("  %-14s %10s %10s\n", "", "supervised", "plain-arq");
+    std::printf("  %-14s %10.3f %10.3f\n", "goodput Mb/s", sup.goodput_bps / 1e6,
+                base.goodput_bps / 1e6);
+    std::printf("  %-14s %10.3f %10.3f\n", "delivery", sup.delivery_ratio(),
+                base.delivery_ratio());
+    std::printf("  %-14s %10.2f %10.2f\n", "elapsed ms", sup.elapsed_s * 1e3,
+                base.elapsed_s * 1e3);
+    std::printf("  supervisor: %zu outages, %zu recoveries, %zu reacquisitions, "
+                "%zu probes\n",
+                sup.recovery.outages, sup.recovery.recoveries,
+                sup.recovery.reacquisitions, sup.recovery.probes);
+    std::printf("  supervisor: detect %.2f ms mean / %.2f ms max, recover %.2f ms "
+                "mean / %.2f ms max\n",
+                sup.recovery.mean_detect_s() * 1e3, sup.recovery.detect_max_s * 1e3,
+                sup.recovery.mean_recover_s() * 1e3, sup.recovery.recover_max_s * 1e3);
+    return sup.goodput_bps >= base.goodput_bps ? 0 : 2;
+}
+
 const char* usage()
 {
     return "usage: mmtag_sim <command> [--key value ...]\n"
@@ -176,6 +245,9 @@ const char* usage()
            "             --tags N --max-range M --payload BYTES --seed S\n"
            "  inventory  slotted-ALOHA statistics\n"
            "             --tags N --seeds N --success P\n"
+           "  faults     fault-injected link, supervisor on vs off\n"
+           "             --fault-rate HZ --mean-duration MS --frames N\n"
+           "             --payload BYTES --distance M --seed S --fault-seed S\n"
            "  help       this text\n";
 }
 
@@ -187,6 +259,7 @@ int dispatch(int argc, const char* const* argv)
         if (options.command() == "budget") return run_budget(options);
         if (options.command() == "network") return run_network(options);
         if (options.command() == "inventory") return run_inventory(options);
+        if (options.command() == "faults") return run_faults(options);
         if (options.command() == "help") {
             std::printf("%s", usage());
             return 0;

@@ -23,6 +23,11 @@ int run_network(const option_set& options);
 /// Options: --tags, --seeds, --success (per-slot PHY success probability).
 int run_inventory(const option_set& options);
 
+/// `faults`: fault-injected link, supervisor on vs off.
+/// Options: --fault-rate (events/s), --mean-duration (ms), --frames,
+/// --payload (bytes), --distance (m), --seed, --fault-seed.
+int run_faults(const option_set& options);
+
 /// Usage text for `help` / errors.
 [[nodiscard]] const char* usage();
 

@@ -1,8 +1,10 @@
 #include "mmtag/core/link_simulator.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "mmtag/dsp/estimators.hpp"
+#include "mmtag/fault/fault_injector.hpp"
 #include "mmtag/phy/bitio.hpp"
 
 namespace mmtag::core {
@@ -51,12 +53,56 @@ link_simulator::frame_result link_simulator::run_frame(std::span<const std::uint
     gamma.insert(gamma.end(), frame.gamma.begin(), frame.gamma.end());
     const std::size_t capture = base + lead;
 
-    const auto query = transmitter_.generate(capture);
-    const cvec antenna = channel_.ap_received(query.rf, gamma);
+    const double window_s = static_cast<double>(capture) / cfg_.sample_rate_hz;
+    result.start_s = clock_s_;
+    result.elapsed_s = window_s;
+
+    fault::impairment imp;
+    if (faults_ != nullptr) imp = faults_->at(clock_s_, window_s);
+    result.fault_active = imp.any();
+
+    // Blockage shadows the tag path twice (AP->tag and tag->AP); a brownout
+    // stops the modulation entirely, leaving the absorptive idle state.
+    const double tag_scale =
+        imp.tag_powered ? imp.tag_amplitude * imp.tag_amplitude : 0.0;
+    if (tag_scale != 1.0) {
+        for (auto& g : gamma) g *= tag_scale;
+    }
+
+    auto query = transmitter_.generate(capture);
+    if (imp.carrier_amplitude != 1.0) {
+        // The PA output collapses; the receive LO keeps running.
+        for (auto& s : query.rf) s *= imp.carrier_amplitude;
+    }
+    cvec antenna = channel_.ap_received(query.rf, gamma);
+    if (imp.interferer_active()) {
+        // In-band CW burst, referenced to the tag's round-trip return at
+        // unit |Gamma|, offset from the carrier by a fraction of the
+        // symbol rate so it lands inside the receive bandwidth.
+        const double amplitude = channel_.round_trip_amplitude() *
+                                 std::sqrt(transmitter_.tx_power_w()) *
+                                 std::pow(10.0, imp.interferer_rel_db / 20.0);
+        const double step = two_pi * 0.35 * cfg_.symbol_rate_hz / cfg_.sample_rate_hz;
+        for (std::size_t i = 0; i < antenna.size(); ++i) {
+            const double phase = step * static_cast<double>(i);
+            antenna[i] += amplitude * cf64{std::cos(phase), std::sin(phase)};
+        }
+    }
+    if (imp.lo_offset_hz != 0.0) {
+        // The synthesizer stepped but the transmit-side LO record the
+        // receiver mixes against did not: the whole capture spins at the
+        // offset, which self-coherent downconversion cannot remove.
+        const double step = two_pi * imp.lo_offset_hz / cfg_.sample_rate_hz;
+        for (std::size_t i = 0; i < antenna.size(); ++i) {
+            const double phase = step * static_cast<double>(i);
+            antenna[i] *= cf64{std::cos(phase), std::sin(phase)};
+        }
+    }
     result.rx = receiver_.receive(antenna, query.lo);
+    clock_s_ += window_s;
 
     result.bits = payload.size() * 8;
-    result.tag_energy_j = energy_.frame_energy_j(frame);
+    result.tag_energy_j = imp.tag_powered ? energy_.frame_energy_j(frame) : 0.0;
     result.airtime_s = frame.duration_s;
     result.delivered = result.rx.frame_found && result.rx.crc_ok;
 
@@ -113,6 +159,24 @@ link_report link_simulator::run_trials(std::size_t frames, std::size_t payload_b
     const double offered_bits = static_cast<double>(frames * payload_bytes * 8);
     report.tag_energy_per_bit_j = offered_bits > 0.0 ? total_energy / offered_bits : 0.0;
     return report;
+}
+
+void link_simulator::advance_clock(double dt_s)
+{
+    if (dt_s < 0.0) throw std::invalid_argument("link_simulator: negative clock step");
+    clock_s_ += dt_s;
+}
+
+void link_simulator::set_rate(phy::modulation scheme, phy::fec_mode fec)
+{
+    if (cfg_.modulator.frame.scheme == scheme && cfg_.modulator.frame.fec == fec) {
+        return;
+    }
+    cfg_.modulator.frame.scheme = scheme;
+    cfg_.modulator.frame.fec = fec;
+    cfg_.receiver.frame = cfg_.modulator.frame;
+    modulator_ = tag::backscatter_modulator(cfg_.modulator);
+    receiver_ = ap::ap_receiver(cfg_.receiver, cfg_.seed * 104729 + 2);
 }
 
 cvec link_simulator::capture_symbols(std::span<const std::uint8_t> payload)

@@ -10,6 +10,10 @@
 #include "mmtag/core/config.hpp"
 #include "mmtag/core/metrics.hpp"
 
+namespace mmtag::fault {
+class fault_injector;
+}
+
 namespace mmtag::core {
 
 class link_simulator {
@@ -18,6 +22,19 @@ public:
 
     [[nodiscard]] const system_config& parameters() const { return cfg_; }
 
+    /// Attaches a fault injector consulted once per frame window (nullptr
+    /// detaches). The injector is not owned and must outlive the simulator.
+    void attach_fault_injector(fault::fault_injector* injector) { faults_ = injector; }
+
+    /// Simulated link time: the sum of all capture windows plus any idle
+    /// time advanced explicitly (supervisor backoff, reacquisition).
+    [[nodiscard]] double clock_s() const { return clock_s_; }
+    void advance_clock(double dt_s);
+
+    /// Switches the live (modulation, FEC) pair — the hook rate adaptation
+    /// and the link supervisor's MCS fallback drive mid-session.
+    void set_rate(phy::modulation scheme, phy::fec_mode fec);
+
     struct frame_result {
         ap::reception rx;
         bool delivered = false;
@@ -25,6 +42,9 @@ public:
         std::size_t bits = 0;
         double tag_energy_j = 0.0;
         double airtime_s = 0.0;
+        double start_s = 0.0;      ///< link clock at the start of the window
+        double elapsed_s = 0.0;    ///< full capture window duration
+        bool fault_active = false; ///< an injected fault overlapped the window
     };
 
     /// Runs one complete frame exchange.
@@ -46,6 +66,8 @@ private:
     tag::energy_model energy_;
     ap::ap_transmitter transmitter_;
     ap::ap_receiver receiver_;
+    fault::fault_injector* faults_ = nullptr;
+    double clock_s_ = 0.0;
     std::uint64_t trial_ = 0;
 };
 

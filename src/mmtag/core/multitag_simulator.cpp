@@ -1,7 +1,10 @@
 #include "mmtag/core/multitag_simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "mmtag/fault/fault_injector.hpp"
 
 namespace mmtag::core {
 
@@ -64,7 +67,15 @@ std::vector<burst_outcome> multitag_simulator::run(const std::vector<tag_burst>&
         std::ceil(2.0 * training * static_cast<double>(capture))) + sps;
     capture += lead;
 
-    const auto query = transmitter_.generate(capture);
+    auto query = transmitter_.generate(capture);
+
+    const double window_s = static_cast<double>(capture) / fs;
+    fault::impairment shared;
+    if (faults_ != nullptr) shared = faults_->at(clock_s_, window_s);
+    if (shared.carrier_amplitude != 1.0) {
+        // Carrier dropout hits every tag at once; the receive LO keeps going.
+        for (auto& s : query.rf) s *= shared.carrier_amplitude;
+    }
 
     // Environment: leakage + clutter from the first channel (shared room).
     const cvec quiet(1, cf64{});
@@ -72,15 +83,47 @@ std::vector<burst_outcome> multitag_simulator::run(const std::vector<tag_burst>&
 
     // Superpose each tag's reflection, placed at its slot.
     for (std::size_t b = 0; b < bursts.size(); ++b) {
+        // Per-burst faults: blockage shadows this tag's path twice, a
+        // brownout silences its modulation for the burst.
+        double burst_scale = 1.0;
+        if (faults_ != nullptr) {
+            const auto imp = faults_->at(clock_s_ + bursts[b].start_s,
+                                         frames[b].duration_s);
+            burst_scale =
+                imp.tag_powered ? imp.tag_amplitude * imp.tag_amplitude : 0.0;
+        }
         cvec gamma(capture, cf64{});
         const std::size_t start = starts[b] + lead;
         const auto& wave = frames[b].gamma;
         for (std::size_t i = 0; i < wave.size() && start + i < capture; ++i) {
-            gamma[start + i] = wave[i];
+            gamma[start + i] = wave[i] * burst_scale;
         }
         const cvec contribution =
             channels_[bursts[b].tag_index].tag_contribution(query.rf, gamma);
         for (std::size_t i = 0; i < capture; ++i) antenna[i] += contribution[i];
+    }
+
+    if (shared.interferer_active()) {
+        // CW burst referenced to the strongest tag's round-trip return.
+        double reference = 0.0;
+        for (const auto& chan : channels_) {
+            reference = std::max(reference, chan.round_trip_amplitude());
+        }
+        const double amplitude = reference * std::sqrt(transmitter_.tx_power_w()) *
+                                 std::pow(10.0, shared.interferer_rel_db / 20.0);
+        const double step =
+            two_pi * 0.35 * base_.symbol_rate_hz / base_.sample_rate_hz;
+        for (std::size_t i = 0; i < antenna.size(); ++i) {
+            const double phase = step * static_cast<double>(i);
+            antenna[i] += amplitude * cf64{std::cos(phase), std::sin(phase)};
+        }
+    }
+    if (shared.lo_offset_hz != 0.0) {
+        const double step = two_pi * shared.lo_offset_hz / base_.sample_rate_hz;
+        for (std::size_t i = 0; i < antenna.size(); ++i) {
+            const double phase = step * static_cast<double>(i);
+            antenna[i] *= cf64{std::cos(phase), std::sin(phase)};
+        }
     }
 
     // Receive each burst in its own window (slot receiver): from just before
@@ -108,6 +151,7 @@ std::vector<burst_outcome> multitag_simulator::run(const std::vector<tag_burst>&
         outcomes[b].delivered =
             rx.frame_found && rx.crc_ok && rx.payload == bursts[b].payload;
     }
+    clock_s_ += window_s;
     return outcomes;
 }
 

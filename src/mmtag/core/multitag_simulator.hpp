@@ -14,6 +14,10 @@
 #include "mmtag/core/network.hpp"
 #include "mmtag/tag/modulator.hpp"
 
+namespace mmtag::fault {
+class fault_injector;
+}
+
 namespace mmtag::core {
 
 /// One tag's transmission in the shared capture window.
@@ -36,6 +40,14 @@ public:
 
     [[nodiscard]] std::size_t tag_count() const { return channels_.size(); }
 
+    /// Attaches a fault injector consulted once per capture (shared faults:
+    /// carrier dropout, LO step, interferer) and once per burst (per-tag
+    /// faults: blockage, brownout). Not owned; nullptr detaches.
+    void attach_fault_injector(fault::fault_injector* injector) { faults_ = injector; }
+
+    /// Simulated time: the sum of all capture windows run so far.
+    [[nodiscard]] double clock_s() const { return clock_s_; }
+
     /// Runs one shared capture containing all bursts, then attempts to
     /// receive each burst in its own window. Overlapping bursts interfere at
     /// the sample level; well-separated slots decode independently.
@@ -49,6 +61,8 @@ private:
     std::vector<channel::backscatter_channel> channels_;
     tag::backscatter_modulator modulator_;
     ap::ap_transmitter transmitter_;
+    fault::fault_injector* faults_ = nullptr;
+    double clock_s_ = 0.0;
     std::uint64_t runs_ = 0;
 };
 

@@ -1,0 +1,92 @@
+#include "mmtag/core/supervised_link.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "mmtag/phy/bitio.hpp"
+
+namespace mmtag::core {
+
+namespace {
+
+/// The link's configured MCS as a rate_option (threshold looked up from the
+/// ladder when present; transmission only needs the scheme/FEC pair).
+ap::rate_option nominal_rate_of(const link_simulator& link)
+{
+    const auto& frame = link.parameters().modulator.frame;
+    for (const auto& option : ap::rate_table()) {
+        if (option.scheme == frame.scheme && option.fec == frame.fec) return option;
+    }
+    ap::rate_option option;
+    option.scheme = frame.scheme;
+    option.fec = frame.fec;
+    return option;
+}
+
+ap::supervised_report run(link_simulator& link, fault::fault_injector* faults,
+                          const ap::supervisor_config& cfg, std::size_t frames,
+                          std::size_t payload_bytes)
+{
+    link.attach_fault_injector(faults);
+
+    std::vector<std::uint8_t> payload;
+    ap::link_driver driver;
+    driver.next_frame = [&](std::size_t f) {
+        payload = phy::random_bytes(payload_bytes,
+                                    link.parameters().seed * 1'000'003 + 500'000 + f);
+    };
+    driver.transmit = [&](const ap::rate_option& rate) {
+        link.set_rate(rate.scheme, rate.fec);
+        const auto result = link.run_frame(payload);
+        return ap::attempt_result{result.delivered, result.rx.snr_db,
+                                  result.elapsed_s};
+    };
+    // A probe is a short frame (minimal payload) at the requested robust
+    // rate: a CRC pass proves the link is usable again without spending a
+    // full data frame of airtime on a possibly dead channel.
+    const std::vector<std::uint8_t> probe_payload =
+        phy::random_bytes(4, link.parameters().seed * 1'000'003 + 499'999);
+    driver.probe = [&, probe_payload](const ap::rate_option& rate) {
+        link.set_rate(rate.scheme, rate.fec);
+        const auto result = link.run_frame(probe_payload);
+        return ap::attempt_result{result.delivered, result.rx.snr_db,
+                                  result.elapsed_s};
+    };
+    driver.wait = [&](double wait_s) { link.advance_clock(wait_s); };
+    driver.reacquire = [&] {
+        link.advance_clock(cfg.reacquisition_time_s);
+        if (faults != nullptr) faults->clear_lo_steps(link.clock_s());
+    };
+    driver.now = [&] { return link.clock_s(); };
+
+    return ap::run_supervised(cfg, nominal_rate_of(link), driver, frames,
+                              static_cast<double>(payload_bytes) * 8.0);
+}
+
+} // namespace
+
+ap::supervised_report run_supervised_link(link_simulator& link,
+                                          fault::fault_injector* faults,
+                                          const ap::supervisor_config& cfg,
+                                          std::size_t frames, std::size_t payload_bytes)
+{
+    return run(link, faults, cfg, frames, payload_bytes);
+}
+
+ap::supervised_report run_baseline_link(link_simulator& link,
+                                        fault::fault_injector* faults,
+                                        std::size_t max_retries, std::size_t frames,
+                                        std::size_t payload_bytes)
+{
+    // Supervision disabled: the streak threshold is unreachable, so no
+    // outage is ever declared, no backoff is inserted, the rate never
+    // falls back, and the watchdog never reacquires.
+    ap::supervisor_config cfg;
+    cfg.arq.max_retries = max_retries;
+    cfg.arq.initial_backoff_s = 0.0;
+    cfg.outage_streak = std::numeric_limits<std::size_t>::max();
+    cfg.rate_fallback = false;
+    return run(link, faults, cfg, frames, payload_bytes);
+}
+
+} // namespace mmtag::core

@@ -1,0 +1,74 @@
+#include "mmtag/fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace mmtag::fault {
+
+namespace {
+
+double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+} // namespace
+
+bool impairment::any() const
+{
+    return tag_amplitude < 1.0 || carrier_amplitude < 1.0 || lo_offset_hz != 0.0 ||
+           interferer_active() || !tag_powered;
+}
+
+fault_injector::fault_injector(fault_schedule schedule)
+    : schedule_(std::move(schedule))
+{
+}
+
+impairment fault_injector::at(double start_s, double duration_s) const
+{
+    impairment out;
+    double blockage_db = 0.0;
+    double dropout_db = 0.0;
+    for (const auto& event : schedule_.active(start_s, start_s + duration_s)) {
+        switch (event.kind) {
+        case fault_kind::blockage:
+            blockage_db = std::max(blockage_db, event.magnitude);
+            break;
+        case fault_kind::carrier_dropout:
+            dropout_db = std::max(dropout_db, event.magnitude);
+            break;
+        case fault_kind::interferer:
+            out.interferer_rel_db = std::max(out.interferer_rel_db, event.magnitude);
+            break;
+        case fault_kind::brownout:
+            out.tag_powered = false;
+            break;
+        case fault_kind::lo_step:
+            break; // persistent: handled below from the full history
+        }
+    }
+    if (blockage_db > 0.0) out.tag_amplitude = db_to_amplitude(-blockage_db);
+    if (dropout_db > 0.0) out.carrier_amplitude = db_to_amplitude(-dropout_db);
+    out.lo_offset_hz = lo_offset_hz(start_s + duration_s);
+    return out;
+}
+
+double fault_injector::lo_offset_hz(double time_s) const
+{
+    // Latest step that has fired and has not been cleared by a re-lock. The
+    // synthesizer holds the detuned frequency, so duration is irrelevant.
+    double offset = 0.0;
+    for (const auto& event : schedule_.events()) {
+        if (event.kind != fault_kind::lo_step) continue;
+        if (event.start_s > time_s) break;
+        if (event.start_s <= lo_cleared_until_s_) continue;
+        offset = event.magnitude;
+    }
+    return offset;
+}
+
+void fault_injector::clear_lo_steps(double time_s)
+{
+    lo_cleared_until_s_ = std::max(lo_cleared_until_s_, time_s);
+}
+
+} // namespace mmtag::fault

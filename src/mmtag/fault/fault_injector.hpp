@@ -1,0 +1,52 @@
+// Applies a fault_schedule to a running simulation. The simulators consult
+// the injector once per frame/burst window and receive the aggregate
+// impairment to apply; duration-bounded events (blockage, dropout,
+// interferer, brownout) expire on their own, while an LO step detunes the
+// receive chain *persistently* until the supervisor re-runs acquisition
+// (clear_lo_steps) — the failure mode that turns into a goodput cliff when
+// nobody is supervising the link.
+#pragma once
+
+#include <cstdint>
+
+#include "mmtag/fault/fault_schedule.hpp"
+
+namespace mmtag::fault {
+
+/// Aggregate impairment over one frame/burst window. Amplitude factors are
+/// field (voltage) scalings; the deepest overlapping event of each kind wins.
+struct impairment {
+    double tag_amplitude = 1.0;     ///< one-way tag-path factor (blockage)
+    double carrier_amplitude = 1.0; ///< AP carrier factor (dropout)
+    double lo_offset_hz = 0.0;      ///< uncompensated RX/TX LO mismatch
+    /// Interferer power relative to the tag's backscatter return [dB];
+    /// <= -300 means no interferer burst overlaps the window.
+    double interferer_rel_db = -300.0;
+    bool tag_powered = true;        ///< false during a brownout
+
+    [[nodiscard]] bool interferer_active() const { return interferer_rel_db > -300.0; }
+    [[nodiscard]] bool any() const;
+};
+
+class fault_injector {
+public:
+    explicit fault_injector(fault_schedule schedule);
+
+    [[nodiscard]] const fault_schedule& schedule() const { return schedule_; }
+
+    /// Impairment seen by a frame occupying [start_s, start_s + duration_s).
+    [[nodiscard]] impairment at(double start_s, double duration_s) const;
+
+    /// Re-lock after acquisition: forgets every LO step that started at or
+    /// before `time_s`. Called by the link supervisor's session watchdog.
+    void clear_lo_steps(double time_s);
+
+    /// Uncompensated LO offset at `time_s` (latest uncleared step wins).
+    [[nodiscard]] double lo_offset_hz(double time_s) const;
+
+private:
+    fault_schedule schedule_;
+    double lo_cleared_until_s_ = 0.0;
+};
+
+} // namespace mmtag::fault

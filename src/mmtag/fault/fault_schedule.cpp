@@ -1,0 +1,102 @@
+#include "mmtag/fault/fault_schedule.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace mmtag::fault {
+
+const char* fault_kind_name(fault_kind kind)
+{
+    switch (kind) {
+    case fault_kind::blockage: return "blockage";
+    case fault_kind::carrier_dropout: return "carrier_dropout";
+    case fault_kind::lo_step: return "lo_step";
+    case fault_kind::interferer: return "interferer";
+    case fault_kind::brownout: return "brownout";
+    }
+    return "unknown";
+}
+
+fault_schedule::fault_schedule(const config& cfg, std::uint64_t seed)
+    : cfg_(cfg), seed_(seed)
+{
+    if (cfg.horizon_s <= 0.0) {
+        throw std::invalid_argument("fault_schedule: horizon must be > 0");
+    }
+    if (cfg.event_rate_hz < 0.0) {
+        throw std::invalid_argument("fault_schedule: event rate must be >= 0");
+    }
+    if (cfg.min_duration_s <= 0.0 || cfg.max_duration_s < cfg.min_duration_s) {
+        throw std::invalid_argument("fault_schedule: invalid duration bounds");
+    }
+    const double weights[] = {cfg.blockage_weight, cfg.dropout_weight,
+                              cfg.lo_step_weight, cfg.interferer_weight,
+                              cfg.brownout_weight};
+    double total_weight = 0.0;
+    for (double w : weights) {
+        if (w < 0.0) throw std::invalid_argument("fault_schedule: negative weight");
+        total_weight += w;
+    }
+    if (cfg.event_rate_hz == 0.0) return;
+    if (total_weight <= 0.0) {
+        throw std::invalid_argument("fault_schedule: all kinds disabled");
+    }
+
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+    std::exponential_distribution<double> gap(cfg.event_rate_hz);
+    std::exponential_distribution<double> dwell(1.0 / cfg.mean_duration_s);
+    std::discrete_distribution<int> pick(std::begin(weights), std::end(weights));
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+    double t = gap(rng);
+    while (t < cfg.horizon_s) {
+        fault_event event;
+        event.kind = static_cast<fault_kind>(pick(rng));
+        event.start_s = t;
+        event.duration_s =
+            std::clamp(dwell(rng), cfg.min_duration_s, cfg.max_duration_s);
+        const double u = unit(rng);
+        switch (event.kind) {
+        case fault_kind::blockage:
+            event.magnitude = cfg.blockage_depth_db_min +
+                              u * (cfg.blockage_depth_db_max - cfg.blockage_depth_db_min);
+            break;
+        case fault_kind::carrier_dropout:
+            event.magnitude = cfg.dropout_depth_db;
+            break;
+        case fault_kind::lo_step:
+            event.magnitude =
+                cfg.lo_step_hz_min + u * (cfg.lo_step_hz_max - cfg.lo_step_hz_min);
+            break;
+        case fault_kind::interferer:
+            event.magnitude =
+                cfg.interferer_db_min + u * (cfg.interferer_db_max - cfg.interferer_db_min);
+            break;
+        case fault_kind::brownout:
+            event.magnitude = 0.0;
+            break;
+        }
+        events_.push_back(event);
+        t += gap(rng);
+    }
+}
+
+std::vector<fault_event> fault_schedule::active(double t0, double t1) const
+{
+    std::vector<fault_event> out;
+    for (const auto& event : events_) {
+        if (event.start_s >= t1) break; // sorted by construction
+        if (event.overlaps(t0, t1)) out.push_back(event);
+    }
+    return out;
+}
+
+std::size_t fault_schedule::count(fault_kind kind) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [kind](const fault_event& e) { return e.kind == kind; }));
+}
+
+} // namespace mmtag::fault

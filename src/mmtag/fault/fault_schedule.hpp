@@ -1,0 +1,84 @@
+// Deterministic fault timeline: a seeded Poisson process of timed impairment
+// events (blockage bursts, carrier dropouts, LO frequency steps, interferer
+// bursts, tag energy brownouts) over a fixed horizon. The schedule is
+// generated once from (config, seed) and never mutated, so any experiment
+// rerun with the same seed sees bit-identical faults — the property the
+// deterministic-replay tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mmtag::fault {
+
+enum class fault_kind {
+    blockage,        ///< human body shadow: one-way loss on the tag path
+    carrier_dropout, ///< AP carrier collapses (PA glitch / regulatory duty)
+    lo_step,         ///< synthesizer frequency step; persists until re-lock
+    interferer,      ///< in-band CW burst at the AP antenna
+    brownout,        ///< tag harvester undervoltage: modulation stops
+};
+
+[[nodiscard]] const char* fault_kind_name(fault_kind kind);
+
+struct fault_event {
+    fault_kind kind = fault_kind::blockage;
+    double start_s = 0.0;
+    double duration_s = 0.0;
+    /// Kind-dependent severity: blockage one-way depth [dB], dropout carrier
+    /// attenuation [dB], lo_step offset [Hz], interferer power relative to
+    /// the tag's backscatter return [dB]. Unused for brownout.
+    double magnitude = 0.0;
+
+    [[nodiscard]] double end_s() const { return start_s + duration_s; }
+    [[nodiscard]] bool overlaps(double t0, double t1) const
+    {
+        return start_s < t1 && end_s() > t0;
+    }
+};
+
+class fault_schedule {
+public:
+    struct config {
+        double horizon_s = 0.1;
+        /// Total Poisson onset rate across all enabled kinds [events/s].
+        double event_rate_hz = 100.0;
+        /// Relative mix of kinds (weight 0 disables a kind).
+        double blockage_weight = 4.0;
+        double dropout_weight = 1.0;
+        double lo_step_weight = 2.0;
+        double interferer_weight = 2.0;
+        double brownout_weight = 1.0;
+        /// Mean event duration [s] (exponential, clamped below).
+        double mean_duration_s = 2e-3;
+        double min_duration_s = 0.2e-3;
+        double max_duration_s = 10e-3;
+        /// Magnitude draw ranges (uniform).
+        double blockage_depth_db_min = 8.0;
+        double blockage_depth_db_max = 25.0;
+        double dropout_depth_db = 60.0;
+        double lo_step_hz_min = 50e3;
+        double lo_step_hz_max = 400e3;
+        double interferer_db_min = 10.0;
+        double interferer_db_max = 25.0;
+    };
+
+    fault_schedule(const config& cfg, std::uint64_t seed);
+
+    [[nodiscard]] const config& parameters() const { return cfg_; }
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+    [[nodiscard]] const std::vector<fault_event>& events() const { return events_; }
+
+    /// Events overlapping the window [t0, t1).
+    [[nodiscard]] std::vector<fault_event> active(double t0, double t1) const;
+
+    /// Number of scheduled events of one kind.
+    [[nodiscard]] std::size_t count(fault_kind kind) const;
+
+private:
+    config cfg_;
+    std::uint64_t seed_;
+    std::vector<fault_event> events_; ///< sorted by start_s
+};
+
+} // namespace mmtag::fault

@@ -1,5 +1,6 @@
 #include "mmtag/mac/arq.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -29,6 +30,24 @@ stop_and_wait_arq::stop_and_wait_arq(const arq_config& cfg) : cfg_(cfg)
     if (cfg.frame_time_s <= 0.0 || cfg.ack_time_s < 0.0) {
         throw std::invalid_argument("arq: invalid timing");
     }
+    if (cfg.initial_backoff_s < 0.0 || cfg.max_backoff_s < 0.0) {
+        throw std::invalid_argument("arq: backoff times must be >= 0");
+    }
+    if (cfg.backoff_factor < 1.0) {
+        throw std::invalid_argument("arq: backoff_factor must be >= 1");
+    }
+    if (!(cfg.ack_loss >= 0.0 && cfg.ack_loss <= 1.0)) {
+        throw std::invalid_argument("arq: ack_loss must be in [0, 1]");
+    }
+}
+
+double stop_and_wait_arq::backoff_delay_s(std::size_t attempt) const
+{
+    if (attempt == 0 || cfg_.initial_backoff_s <= 0.0) return 0.0;
+    const double grown =
+        cfg_.initial_backoff_s *
+        std::pow(cfg_.backoff_factor, static_cast<double>(attempt - 1));
+    return std::min(grown, cfg_.max_backoff_s);
 }
 
 arq_stats stop_and_wait_arq::run(std::size_t frame_count, double frame_success,
@@ -43,13 +62,20 @@ arq_stats stop_and_wait_arq::run(std::size_t frame_count, double frame_success,
     arq_stats stats;
     stats.frames_offered = frame_count;
     for (std::size_t f = 0; f < frame_count; ++f) {
+        bool receiver_has_frame = false;
         for (std::size_t attempt = 0; attempt < cfg_.max_retries; ++attempt) {
+            const double wait = backoff_delay_s(attempt);
+            stats.backoff_wait_s += wait;
+            stats.airtime_s += wait + cfg_.frame_time_s + cfg_.ack_time_s;
             ++stats.transmissions;
-            stats.airtime_s += cfg_.frame_time_s + cfg_.ack_time_s;
-            if (uniform(rng) < frame_success) {
+            if (uniform(rng) >= frame_success) continue; // frame corrupted
+            if (receiver_has_frame) ++stats.duplicates_discarded;
+            else {
+                receiver_has_frame = true;
                 ++stats.frames_delivered;
-                break;
             }
+            // The sender only stops once it sees the implicit ACK.
+            if (cfg_.ack_loss <= 0.0 || uniform(rng) >= cfg_.ack_loss) break;
         }
     }
     return stats;

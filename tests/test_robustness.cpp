@@ -7,6 +7,8 @@
 
 #include "mmtag/ap/query_encoder.hpp"
 #include "mmtag/core/link_simulator.hpp"
+#include "mmtag/core/supervised_link.hpp"
+#include "mmtag/fault/fault_injector.hpp"
 #include "mmtag/fec/convolutional.hpp"
 #include "mmtag/fec/hamming.hpp"
 #include "mmtag/phy/bitio.hpp"
@@ -165,6 +167,38 @@ TEST(determinism, identical_seeds_identical_reports)
     EXPECT_DOUBLE_EQ(ra.ber, rb.ber);
     EXPECT_DOUBLE_EQ(ra.mean_snr_db, rb.mean_snr_db);
     EXPECT_DOUBLE_EQ(ra.goodput_bps, rb.goodput_bps);
+}
+
+TEST(determinism, fault_replay_reproduces_supervisor_recovery_metrics)
+{
+    // Identical fault seed + config => the supervised run is bit-reproducible:
+    // every recovery metric, the goodput, and the elapsed link clock match
+    // across two independent replays.
+    const auto run_once = [] {
+        auto cfg = core::fast_scenario();
+        cfg.distance_m = 4.0;
+        cfg.seed = 11;
+        core::link_simulator link(cfg);
+        fault::fault_schedule::config sched;
+        sched.horizon_s = 20e-3;
+        sched.event_rate_hz = 300.0;
+        sched.mean_duration_s = 1e-3;
+        fault::fault_injector faults{fault::fault_schedule(sched, 424242)};
+        return core::run_supervised_link(link, &faults, {}, 40, 24);
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a.frames_offered, b.frames_offered);
+    EXPECT_EQ(a.frames_delivered, b.frames_delivered);
+    EXPECT_EQ(a.recovery.outages, b.recovery.outages);
+    EXPECT_EQ(a.recovery.recoveries, b.recovery.recoveries);
+    EXPECT_EQ(a.recovery.reacquisitions, b.recovery.reacquisitions);
+    EXPECT_EQ(a.recovery.transmissions, b.recovery.transmissions);
+    EXPECT_EQ(a.recovery.probes, b.recovery.probes);
+    EXPECT_DOUBLE_EQ(a.recovery.detect_total_s, b.recovery.detect_total_s);
+    EXPECT_DOUBLE_EQ(a.recovery.recover_total_s, b.recovery.recover_total_s);
+    EXPECT_DOUBLE_EQ(a.elapsed_s, b.elapsed_s);
+    EXPECT_DOUBLE_EQ(a.goodput_bps, b.goodput_bps);
 }
 
 TEST(determinism, different_seeds_differ)
