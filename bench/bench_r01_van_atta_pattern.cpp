@@ -14,7 +14,8 @@ using namespace mmtag;
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R1", "Van Atta retro-reflection pattern vs incidence angle", csv);
 
     const auto patch = std::make_shared<antenna::patch_element>();

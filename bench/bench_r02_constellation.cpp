@@ -31,7 +31,8 @@ void ascii_scatter(const cvec& symbols)
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R2", "received constellations and EVM through the full chain", csv);
 
     bench::table out({"modulation", "snr_dB", "evm_dB", "evm_pct", "crc"}, csv);

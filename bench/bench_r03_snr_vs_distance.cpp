@@ -11,7 +11,8 @@ using namespace mmtag;
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R3", "uplink SNR vs distance (measured vs analytic budget)", csv);
 
     bench::table out({"distance_m", "budget_snr_dB", "measured_snr_dB", "gap_dB",

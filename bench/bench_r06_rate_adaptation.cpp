@@ -25,7 +25,8 @@ core::link_report run_at(core::system_config cfg, phy::modulation scheme, phy::f
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R6", "goodput vs distance: rate adaptation vs fixed rates", csv);
 
     bench::table out({"distance_m", "snr_dB", "selected", "adaptive_Mbps",

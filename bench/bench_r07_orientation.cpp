@@ -10,7 +10,8 @@ using namespace mmtag;
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R7", "link vs tag rotation: Van Atta vs flat plate", csv);
 
     bench::table out({"rotation_deg", "van_atta_snr_dB", "van_atta_per", "plate_snr_dB",

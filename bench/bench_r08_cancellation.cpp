@@ -26,7 +26,8 @@ const char* mode_name(ap::cancellation_mode mode)
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R8", "canceller modes vs TX leakage level", csv);
 
     bench::table out({"leakage_dB", "mode", "snr_dB", "per", "suppression_dB"}, csv);

@@ -9,7 +9,8 @@ using namespace mmtag;
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R9", "slotted-ALOHA inventory cost vs population", csv);
 
     bench::table out({"tags", "slots", "rounds", "singles", "collisions", "idle",

@@ -12,7 +12,8 @@ using namespace mmtag;
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R11", "tag power, energy per bit, and baselines", csv);
 
     const tag::energy_model model;

@@ -64,7 +64,8 @@ double coded_ber(phy::fec_mode mode, double ebn0_db, std::size_t info_bits,
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R12", "decoded BER vs Eb/N0: uncoded vs convolutional rates", csv);
 
     bench::table out({"ebn0_dB", "uncoded", "conv_1_2", "conv_2_3", "conv_3_4"}, csv);

@@ -12,7 +12,8 @@ using namespace mmtag;
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R14", "sensitivity to ADC bits, LO linewidth, and noise figure", csv);
 
     if (!csv) std::printf("ADC resolution (static interference / tag ~ 30 dB):\n");

@@ -26,7 +26,8 @@ struct lo_case {
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R16", "self-coherent vs independent-LO receiver", csv);
 
     const lo_case cases[] = {

@@ -14,7 +14,8 @@ using namespace mmtag;
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R17", "link vs Rician K-factor at 6 m (+ ARQ recovery)", csv);
 
     constexpr std::size_t frames = 40;

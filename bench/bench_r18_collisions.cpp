@@ -12,7 +12,8 @@ using namespace mmtag;
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R18", "two-tag overlap and capture at the sample level", csv);
 
     const auto base = bench::bench_scenario();

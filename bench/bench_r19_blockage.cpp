@@ -47,7 +47,8 @@ bool run_frame(const core::system_config& cfg, channel::backscatter_channel& cha
 
 int main(int argc, char** argv)
 {
-    const bool csv = bench::csv_mode(argc, argv);
+    const auto opts = bench::bench_options::parse(argc, argv);
+    const bool csv = opts.csv;
     bench::banner("R19", "frame loss under body blockage, with ARQ recovery", csv);
 
     auto cfg = bench::bench_scenario();

@@ -1,9 +1,12 @@
-// Shared plumbing for the experiment harnesses: aligned-table/CSV printing
-// and the standard bench scenario (a faster-sampling variant of the default
-// system so sweeps finish in seconds).
+// Shared plumbing for the experiment harnesses: the common flag parser
+// (--csv/--json/--jobs/--seed), aligned-table/CSV printing, and the standard
+// bench scenario (a faster-sampling variant of the default system so sweeps
+// finish in seconds).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -11,14 +14,65 @@
 
 namespace mmtag::bench {
 
-/// True when the binary was invoked with --csv.
-inline bool csv_mode(int argc, char** argv)
-{
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--csv") return true;
+/// The flags every experiment binary accepts. Bench-specific extras
+/// (`--fault-seed`, ...) are collected in `extra` for the bench to consume.
+struct bench_options {
+    bool csv = false;        ///< machine-readable table on stdout
+    std::string json_path;   ///< --json PATH; empty = bench/out/BENCH_<id>.json
+    std::size_t jobs = 0;    ///< --jobs N parallel executors; 0 = auto
+    std::uint64_t seed = 1;  ///< --seed S: base of the per-trial seeding scheme
+    std::map<std::string, std::string> extra;
+
+    /// Parses argv; prints a message and exits(2) on malformed input so
+    /// bench mains stay one-liners.
+    static bench_options parse(int argc, char** argv)
+    {
+        bench_options opts;
+        auto value_of = [&](int& i, const char* key) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n", key);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--csv") {
+                opts.csv = true;
+            } else if (arg == "--json") {
+                opts.json_path = value_of(i, "--json");
+            } else if (arg == "--jobs") {
+                opts.jobs = static_cast<std::size_t>(
+                    std::strtoull(value_of(i, "--jobs").c_str(), nullptr, 10));
+            } else if (arg == "--seed") {
+                opts.seed = std::strtoull(value_of(i, "--seed").c_str(), nullptr, 10);
+            } else if (arg.rfind("--", 0) == 0 && arg.size() > 2) {
+                // Bench-specific: `--key value` (value may be omitted for flags).
+                const bool has_value = i + 1 < argc &&
+                                       std::string(argv[i + 1]).rfind("--", 0) != 0;
+                opts.extra[arg.substr(2)] = has_value ? argv[++i] : "";
+            } else {
+                std::fprintf(stderr, "error: unexpected argument '%s'\n", arg.c_str());
+                std::exit(2);
+            }
+        }
+        return opts;
     }
-    return false;
-}
+
+    [[nodiscard]] std::uint64_t extra_u64(const std::string& key,
+                                          std::uint64_t fallback) const
+    {
+        const auto it = extra.find(key);
+        return it == extra.end() ? fallback
+                                 : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    [[nodiscard]] double extra_double(const std::string& key, double fallback) const
+    {
+        const auto it = extra.find(key);
+        return it == extra.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+    }
+};
 
 /// Simple column-aligned table with an optional CSV mode.
 class table {

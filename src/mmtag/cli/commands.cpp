@@ -1,8 +1,11 @@
 #include "mmtag/cli/commands.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <random>
 #include <stdexcept>
+#include <vector>
 
 #include "mmtag/ap/rate_adaptation.hpp"
 #include "mmtag/core/link_budget.hpp"
@@ -12,6 +15,9 @@
 #include "mmtag/core/supervised_link.hpp"
 #include "mmtag/fault/fault_injector.hpp"
 #include "mmtag/mac/slotted_aloha.hpp"
+#include "mmtag/runtime/result_writer.hpp"
+#include "mmtag/runtime/sweep_runner.hpp"
+#include "mmtag/runtime/thread_pool.hpp"
 
 namespace mmtag::cli {
 
@@ -163,6 +169,33 @@ int run_inventory(const option_set& options)
     return incomplete == 0 ? 0 : 2;
 }
 
+namespace {
+
+/// Trial-ordered fold of supervised runs: counters add, rate-like figures
+/// recombine from their sums (goodput weighted by elapsed airtime).
+void merge_supervised(ap::supervised_report& into, const ap::supervised_report& from)
+{
+    into.recovery.outages += from.recovery.outages;
+    into.recovery.recoveries += from.recovery.recoveries;
+    into.recovery.reacquisitions += from.recovery.reacquisitions;
+    into.recovery.transmissions += from.recovery.transmissions;
+    into.recovery.probes += from.recovery.probes;
+    into.recovery.detect_total_s += from.recovery.detect_total_s;
+    into.recovery.detect_max_s = std::max(into.recovery.detect_max_s,
+                                          from.recovery.detect_max_s);
+    into.recovery.recover_total_s += from.recovery.recover_total_s;
+    into.recovery.recover_max_s = std::max(into.recovery.recover_max_s,
+                                           from.recovery.recover_max_s);
+    const double delivered_bits =
+        into.goodput_bps * into.elapsed_s + from.goodput_bps * from.elapsed_s;
+    into.frames_offered += from.frames_offered;
+    into.frames_delivered += from.frames_delivered;
+    into.elapsed_s += from.elapsed_s;
+    into.goodput_bps = into.elapsed_s > 0.0 ? delivered_bits / into.elapsed_s : 0.0;
+}
+
+} // namespace
+
 int run_faults(const option_set& options)
 {
     const double fault_rate = options.get_double("fault-rate", 150.0);
@@ -172,12 +205,15 @@ int run_faults(const option_set& options)
     const double distance = options.get_double("distance", 4.0);
     const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 11));
     const auto fault_seed = static_cast<std::uint64_t>(options.get_int("fault-seed", 42));
+    const auto trials = static_cast<std::size_t>(options.get_int("trials", 1));
+    const auto jobs = static_cast<std::size_t>(options.get_int("jobs", 1));
     reject_leftovers(options);
     if (fault_rate < 0.0) throw std::invalid_argument("--fault-rate must be >= 0");
     if (mean_duration_ms <= 0.0) {
         throw std::invalid_argument("--mean-duration must be > 0");
     }
     if (frames == 0) throw std::invalid_argument("--frames must be >= 1");
+    if (trials == 0) throw std::invalid_argument("--trials must be >= 1");
 
     auto cfg = cli_scenario();
     cfg.distance_m = distance;
@@ -190,9 +226,10 @@ int run_faults(const option_set& options)
     const fault::fault_schedule schedule(sched_cfg, fault_seed);
 
     std::printf("faults: %.0f events/s, mean %.1f ms, %zu frames x %zu B, "
-                "fault seed %llu\n",
+                "fault seed %llu, %zu trial%s\n",
                 fault_rate, mean_duration_ms, frames, payload,
-                static_cast<unsigned long long>(fault_seed));
+                static_cast<unsigned long long>(fault_seed), trials,
+                trials == 1 ? "" : "s");
     for (const auto kind :
          {fault::fault_kind::blockage, fault::fault_kind::carrier_dropout,
           fault::fault_kind::lo_step, fault::fault_kind::interferer,
@@ -201,16 +238,40 @@ int run_faults(const option_set& options)
                     schedule.count(kind));
     }
 
+    // Task grid on the runtime pool: (trial, arm) pairs, each with its own
+    // simulator and injector. Trial t perturbs the link with fault seed
+    // fault_seed + t (trial 0 reproduces the single-trial output exactly),
+    // and the per-arm reduction folds trials in order — bit-identical for
+    // any --jobs value.
     const ap::supervisor_config sup_cfg{};
-    core::link_simulator sup_link(cfg);
-    fault::fault_injector sup_faults{schedule};
-    const auto sup = core::run_supervised_link(
-        sup_link, fault_rate > 0.0 ? &sup_faults : nullptr, sup_cfg, frames, payload);
+    std::vector<ap::supervised_report> sup_trials(trials);
+    std::vector<ap::supervised_report> base_trials(trials);
+    const auto start = std::chrono::steady_clock::now();
+    runtime::thread_pool pool(jobs);
+    pool.parallel_for(2 * trials, [&](std::size_t task) {
+        const std::size_t trial = task / 2;
+        const bool supervised = task % 2 == 0;
+        const fault::fault_schedule trial_schedule(sched_cfg, fault_seed + trial);
+        core::link_simulator link(cfg);
+        fault::fault_injector faults{trial_schedule};
+        fault::fault_injector* injector = fault_rate > 0.0 ? &faults : nullptr;
+        if (supervised) {
+            sup_trials[trial] =
+                core::run_supervised_link(link, injector, sup_cfg, frames, payload);
+        } else {
+            base_trials[trial] =
+                core::run_baseline_link(link, injector, 8, frames, payload);
+        }
+    });
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
-    core::link_simulator base_link(cfg);
-    fault::fault_injector base_faults{schedule};
-    const auto base = core::run_baseline_link(
-        base_link, fault_rate > 0.0 ? &base_faults : nullptr, 8, frames, payload);
+    ap::supervised_report sup = sup_trials.front();
+    ap::supervised_report base = base_trials.front();
+    for (std::size_t t = 1; t < trials; ++t) {
+        merge_supervised(sup, sup_trials[t]);
+        merge_supervised(base, base_trials[t]);
+    }
 
     std::printf("  %-14s %10s %10s\n", "", "supervised", "plain-arq");
     std::printf("  %-14s %10.3f %10.3f\n", "goodput Mb/s", sup.goodput_bps / 1e6,
@@ -227,7 +288,86 @@ int run_faults(const option_set& options)
                 "mean / %.2f ms max\n",
                 sup.recovery.mean_detect_s() * 1e3, sup.recovery.detect_max_s * 1e3,
                 sup.recovery.mean_recover_s() * 1e3, sup.recovery.recover_max_s * 1e3);
+    std::printf("  runtime: %zu tasks in %.2f s wall (%zu jobs)\n", 2 * trials,
+                wall_s, pool.jobs());
     return sup.goodput_bps >= base.goodput_bps ? 0 : 2;
+}
+
+int run_sweep(const option_set& options)
+{
+    const double start_m = options.get_double("start", 1.0);
+    const double stop_m = options.get_double("stop", 6.0);
+    const auto points = static_cast<std::size_t>(options.get_int("points", 6));
+    const auto trials = static_cast<std::size_t>(options.get_int("trials", 4));
+    const auto frames = static_cast<std::size_t>(options.get_int("frames", 6));
+    const auto payload = static_cast<std::size_t>(options.get_int("payload", 32));
+    const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+    const auto jobs = static_cast<std::size_t>(options.get_int("jobs", 0));
+    const std::string json_path = options.get_string("json", "");
+
+    auto cfg = cli_scenario();
+    if (options.has("scheme")) {
+        cfg.modulator.frame.scheme = parse_modulation(options.get_string("scheme", ""));
+    }
+    if (options.has("fec")) {
+        cfg.modulator.frame.fec = parse_fec(options.get_string("fec", ""));
+    }
+    cfg.receiver.frame = cfg.modulator.frame;
+    reject_leftovers(options);
+    if (points == 0) throw std::invalid_argument("--points must be >= 1");
+    if (trials == 0) throw std::invalid_argument("--trials must be >= 1");
+    if (frames == 0) throw std::invalid_argument("--frames must be >= 1");
+    if (stop_m < start_m) throw std::invalid_argument("--stop must be >= --start");
+
+    const auto distance_at = [&](std::size_t point) {
+        if (points == 1) return start_m;
+        return start_m + (stop_m - start_m) * static_cast<double>(point) /
+                             static_cast<double>(points - 1);
+    };
+
+    std::printf("sweep: %.1f..%.1f m over %zu points, %zu trials x %zu frames x "
+                "%zu B (%s/%s)\n",
+                start_m, stop_m, points, trials, frames, payload,
+                phy::modulation_name(cfg.modulator.frame.scheme).c_str(),
+                phy::fec_mode_name(cfg.modulator.frame.fec));
+
+    runtime::sweep_options sweep;
+    sweep.jobs = jobs;
+    sweep.base_seed = seed;
+    sweep.trials_per_point = trials;
+    sweep.progress = runtime::stderr_progress();
+    const auto out = runtime::run_sweep<core::link_report>(
+        sweep, points, [&](std::size_t point, std::size_t, std::uint64_t trial_seed) {
+            auto trial_cfg = cfg;
+            trial_cfg.distance_m = distance_at(point);
+            trial_cfg.seed = trial_seed;
+            core::link_simulator sim(trial_cfg);
+            return sim.run_trials(frames, payload);
+        });
+
+    std::printf("%-10s %-10s %-12s %-10s %-8s %-12s\n", "range_m", "snr_dB", "ber",
+                "ber_ci95", "per", "goodput_Mbps");
+    runtime::result_writer results("SWEEP", "BER/goodput vs distance (CLI sweep)",
+                                   {"distance_m"}, seed);
+    for (std::size_t point = 0; point < points; ++point) {
+        const auto& report = out.points[point].aggregate;
+        std::printf("%-10.2f %-10.1f %-12.2e %-10.2e %-8.3f %-12.3f\n",
+                    distance_at(point), report.mean_snr_db, report.ber,
+                    report.ber_confidence(), report.per, report.goodput_bps / 1e6);
+        auto axis = runtime::json_value::object();
+        axis.set("distance_m", runtime::json_value::number(distance_at(point)));
+        results.add_point(std::move(axis), trials,
+                          runtime::result_writer::metrics(report));
+    }
+
+    std::printf("%s\n",
+                runtime::summary_line(points, out.trials, out.wall_s, out.jobs).c_str());
+    if (!json_path.empty()) {
+        const auto written =
+            results.write(json_path, out.wall_s, out.jobs, out.trials_per_s());
+        if (!written.empty()) std::printf("wrote %s\n", written.c_str());
+    }
+    return 0;
 }
 
 const char* usage()
@@ -248,6 +388,11 @@ const char* usage()
            "  faults     fault-injected link, supervisor on vs off\n"
            "             --fault-rate HZ --mean-duration MS --frames N\n"
            "             --payload BYTES --distance M --seed S --fault-seed S\n"
+           "             --trials N --jobs N (0 = auto)\n"
+           "  sweep      parallel BER/goodput vs distance Monte-Carlo sweep\n"
+           "             --start M --stop M --points N --trials N --frames N\n"
+           "             --payload BYTES --scheme MOD --fec MODE --seed S\n"
+           "             --jobs N (0 = auto) --json PATH\n"
            "  help       this text\n";
 }
 
@@ -260,6 +405,7 @@ int dispatch(int argc, const char* const* argv)
         if (options.command() == "network") return run_network(options);
         if (options.command() == "inventory") return run_inventory(options);
         if (options.command() == "faults") return run_faults(options);
+        if (options.command() == "sweep") return run_sweep(options);
         if (options.command() == "help") {
             std::printf("%s", usage());
             return 0;

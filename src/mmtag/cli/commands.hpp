@@ -23,10 +23,19 @@ int run_network(const option_set& options);
 /// Options: --tags, --seeds, --success (per-slot PHY success probability).
 int run_inventory(const option_set& options);
 
-/// `faults`: fault-injected link, supervisor on vs off.
+/// `faults`: fault-injected link, supervisor on vs off. Runs on the
+/// parallel Monte-Carlo runtime: both arms and every fault-seed trial fan
+/// out across the thread pool with deterministic reduction.
 /// Options: --fault-rate (events/s), --mean-duration (ms), --frames,
-/// --payload (bytes), --distance (m), --seed, --fault-seed.
+/// --payload (bytes), --distance (m), --seed, --fault-seed, --trials,
+/// --jobs (0 = auto).
 int run_faults(const option_set& options);
+
+/// `sweep`: BER/goodput vs distance Monte-Carlo sweep on the parallel
+/// runtime; prints the per-point table plus a one-line speedup summary.
+/// Options: --start, --stop, --points, --trials, --frames, --payload,
+/// --scheme, --fec, --seed, --jobs (0 = auto), --json (path).
+int run_sweep(const option_set& options);
 
 /// Usage text for `help` / errors.
 [[nodiscard]] const char* usage();

@@ -125,11 +125,7 @@ link_simulator::frame_result link_simulator::run_frame(std::span<const std::uint
 link_report link_simulator::run_trials(std::size_t frames, std::size_t payload_bytes)
 {
     error_counter errors;
-    dsp::running_stats snr;
-    dsp::running_stats evm;
-    double total_energy = 0.0;
-    double total_airtime = 0.0;
-    std::size_t delivered_bits = 0;
+    link_report report;
 
     for (std::size_t f = 0; f < frames; ++f) {
         const auto payload =
@@ -137,27 +133,23 @@ link_report link_simulator::run_trials(std::size_t frames, std::size_t payload_b
         const frame_result result = run_frame(payload);
         if (result.rx.frame_found) {
             errors.add_frame(payload, result.rx.payload, result.delivered);
-            snr.add(result.rx.snr_db);
-            evm.add(result.rx.evm_db);
+            report.snr_samples += 1;
+            report.snr_sum_db += result.rx.snr_db;
+            report.evm_samples += 1;
+            report.evm_sum_db += result.rx.evm_db;
         } else {
             errors.add_lost_frame(payload.size());
         }
-        total_energy += result.tag_energy_j;
-        total_airtime += result.airtime_s;
-        if (result.delivered) delivered_bits += result.bits;
+        report.tag_energy_j += result.tag_energy_j;
+        report.airtime_s += result.airtime_s;
+        if (result.delivered) report.delivered_bits += result.bits;
     }
 
-    link_report report;
     report.frames = frames;
-    report.ber = errors.ber();
-    report.per = errors.per();
-    report.mean_snr_db = snr.count() > 0 ? snr.mean() : -100.0;
-    report.mean_evm_db = evm.count() > 0 ? evm.mean() : 0.0;
-    report.goodput_bps = total_airtime > 0.0
-                             ? static_cast<double>(delivered_bits) / total_airtime
-                             : 0.0;
-    const double offered_bits = static_cast<double>(frames * payload_bytes * 8);
-    report.tag_energy_per_bit_j = offered_bits > 0.0 ? total_energy / offered_bits : 0.0;
+    report.frames_delivered = errors.frames_delivered();
+    report.bits = errors.bits();
+    report.bit_errors = errors.bit_errors();
+    report.recompute();
     return report;
 }
 

@@ -23,6 +23,15 @@ public:
     /// Records a frame that produced no decodable output at all.
     void add_lost_frame(std::size_t payload_bytes);
 
+    /// Records raw bit observations with no frame structure (symbol-level
+    /// experiments such as the R5 AWGN sweep). frames()/per() are unaffected.
+    void add_bits(std::size_t bits, std::size_t bit_errors);
+
+    /// Folds another counter's observations into this one. Exact (integer
+    /// sums), hence associative — the reduction the parallel sweep runner
+    /// relies on for jobs-invariant results.
+    void merge(const error_counter& other);
+
     [[nodiscard]] std::size_t frames() const { return frames_; }
     [[nodiscard]] std::size_t frames_delivered() const { return delivered_; }
     [[nodiscard]] std::size_t bits() const { return bits_; }
@@ -44,6 +53,12 @@ private:
 };
 
 /// Aggregate of one measurement point (one distance/rate/... cell).
+///
+/// Carries both the derived figures benches print and the sufficient
+/// statistics (additive sums) they derive from, so independently computed
+/// reports can be combined exactly: merge() adds the sums and recomputes
+/// the derived figures, and run_trials fills both, making a merged report
+/// agree with sequential accumulation over the same frames.
 struct link_report {
     double ber = 0.0;
     double per = 0.0;
@@ -52,6 +67,30 @@ struct link_report {
     double goodput_bps = 0.0;
     double tag_energy_per_bit_j = 0.0;
     std::size_t frames = 0;
+
+    // Sufficient statistics. `bits` counts offered payload bits (including
+    // lost frames); snr/evm sums only cover frames the receiver found.
+    std::size_t frames_delivered = 0;
+    std::size_t bits = 0;
+    std::size_t bit_errors = 0;
+    std::size_t snr_samples = 0;
+    double snr_sum_db = 0.0;
+    std::size_t evm_samples = 0;
+    double evm_sum_db = 0.0;
+    double airtime_s = 0.0;
+    std::size_t delivered_bits = 0;
+    double tag_energy_j = 0.0;
+
+    /// Adds `other`'s sufficient statistics and recomputes the derived
+    /// figures. Integer fields combine exactly; double sums are ordinary
+    /// floating-point addition, associative to rounding.
+    void merge(const link_report& other);
+
+    /// Recomputes ber/per/means/goodput/energy-per-bit from the sums.
+    void recompute();
+
+    /// Wilson-interval half width on the BER estimate (95%).
+    [[nodiscard]] double ber_confidence() const;
 };
 
 /// PER implied by an independent-bit-error channel: 1 - (1-ber)^bits.

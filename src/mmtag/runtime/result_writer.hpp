@@ -1,0 +1,119 @@
+// Machine-readable bench output: a minimal ordered JSON document model and
+// the BENCH_<id>.json emitter the perf trajectory reads.
+//
+// Schema "mmtag.bench.result/1":
+//   {
+//     "schema": "mmtag.bench.result/1",
+//     "id": "R4", "title": "...",
+//     "base_seed": S,
+//     "axes": ["distance_m", "rate"],
+//     "points": [
+//       {"axis": {...}, "trials": N, "metrics": {...}},
+//       ...
+//     ],
+//     "run": {"jobs": J, "wall_s": W, "trials_per_s": R,
+//             "git": "<git describe>"}
+//   }
+// Everything outside "run" is a pure function of (bench, base_seed) — the
+// deterministic half the jobs-invariance regression test compares
+// byte-for-byte (aggregates_json()). "run" carries the timing/provenance
+// that legitimately varies between machines and runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mmtag::core {
+class error_counter;
+struct link_report;
+} // namespace mmtag::core
+
+namespace mmtag::runtime {
+
+/// A small owned JSON value. Object keys keep insertion order and number
+/// formatting is locale-independent, so serialization is byte-stable —
+/// which is what lets "same sweep, different --jobs" be compared verbatim.
+class json_value {
+public:
+    json_value() : kind_(kind::null) {}
+
+    static json_value null() { return json_value(); }
+    static json_value boolean(bool b);
+    static json_value number(double value);
+    static json_value integer(std::int64_t value);
+    static json_value unsigned_integer(std::uint64_t value);
+    static json_value string(std::string value);
+    static json_value array();
+    static json_value object();
+
+    /// Object member (insertion-ordered; duplicate keys overwrite in place).
+    json_value& set(const std::string& key, json_value value);
+    /// Array append.
+    json_value& push(json_value value);
+
+    [[nodiscard]] bool is_object() const { return kind_ == kind::object; }
+    [[nodiscard]] bool is_array() const { return kind_ == kind::array; }
+
+    /// Serializes; indent > 0 pretty-prints with that many spaces per level.
+    [[nodiscard]] std::string dump(int indent = 0) const;
+
+private:
+    enum class kind { null, boolean, number, integer, unsigned_integer, string, array, object };
+
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::int64_t integer_ = 0;
+    std::uint64_t unsigned_ = 0;
+    std::string string_;
+    std::vector<json_value> items_;
+    std::vector<std::pair<std::string, json_value>> members_;
+};
+
+/// Collects one bench's sweep results and writes BENCH_<id>.json.
+class result_writer {
+public:
+    result_writer(std::string id, std::string title, std::vector<std::string> axes,
+                  std::uint64_t base_seed);
+
+    /// Appends one sweep point. `axis` must be an object whose keys match
+    /// the declared axes; `metrics` is an object of aggregate values.
+    void add_point(json_value axis, std::size_t trials, json_value metrics);
+
+    /// Ready-made metrics objects for the standard aggregates.
+    [[nodiscard]] static json_value metrics(const core::error_counter& errors);
+    [[nodiscard]] static json_value metrics(const core::link_report& report);
+
+    /// The deterministic half of the document (schema/id/title/axes/points).
+    [[nodiscard]] std::string aggregates_json() const;
+
+    /// The full document including the "run" section.
+    [[nodiscard]] std::string document(double wall_s, std::size_t jobs,
+                                       double trials_per_s) const;
+
+    /// Writes document() to `path` (empty = default_output_path(id)),
+    /// creating parent directories. Returns the path written, or an empty
+    /// string if the filesystem refused (benches warn but keep going).
+    std::string write(const std::string& path, double wall_s, std::size_t jobs,
+                      double trials_per_s) const;
+
+private:
+    std::string id_;
+    std::string title_;
+    std::vector<std::string> axes_;
+    std::uint64_t base_seed_;
+    std::vector<json_value> points_;
+};
+
+/// bench/out/BENCH_<id>.json relative to the current working directory.
+[[nodiscard]] std::string default_output_path(const std::string& id);
+
+/// `git describe --always --dirty --tags` of the working tree, cached after
+/// the first call; "unknown" when git or the repository is unavailable.
+[[nodiscard]] const std::string& git_describe();
+
+} // namespace mmtag::runtime

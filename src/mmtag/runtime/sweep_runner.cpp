@@ -1,0 +1,44 @@
+#include "mmtag/runtime/sweep_runner.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace mmtag::runtime {
+
+std::string summary_line(std::size_t points, std::size_t trials, double wall_s,
+                         std::size_t jobs)
+{
+    const double rate = wall_s > 0.0 ? static_cast<double>(trials) / wall_s : 0.0;
+    char buffer[160];
+    std::snprintf(buffer, sizeof buffer,
+                  "sweep: %zu points, %zu trials in %.2f s wall (%zu jobs, %.0f trials/s)",
+                  points, trials, wall_s, jobs, rate);
+    return buffer;
+}
+
+std::function<void(std::size_t, std::size_t)> stderr_progress()
+{
+#ifdef _WIN32
+    const bool tty = _isatty(_fileno(stderr)) != 0;
+#else
+    const bool tty = isatty(fileno(stderr)) != 0;
+#endif
+    if (!tty) return {};
+    // Shared state so the returned callback is copyable and thread-safe.
+    auto gate = std::make_shared<std::mutex>();
+    return [gate](std::size_t done, std::size_t total) {
+        const std::lock_guard<std::mutex> lock(*gate);
+        std::fprintf(stderr, "\rsweep: %zu/%zu trials", done, total);
+        if (done == total) std::fprintf(stderr, "\r\033[K");
+        std::fflush(stderr);
+    };
+}
+
+} // namespace mmtag::runtime

@@ -1,0 +1,131 @@
+// The Monte-Carlo sweep runner: fans (sweep point x trial) work out across
+// the shard-based thread pool and folds the per-trial aggregates back
+// together with a deterministic ordered reduction.
+//
+// Determinism contract:
+//   * every trial runs from a counter-based seed (trial_rng), so its result
+//     is independent of scheduling;
+//   * per-trial results land in pre-allocated slots (no shared accumulator);
+//   * the reduction folds trials strictly in (point, trial) order on the
+//     calling thread.
+// Together these make the aggregates bit-identical for any --jobs value —
+// the regression test asserts byte-identical JSON between jobs=1 and jobs=8.
+//
+// The Aggregate type must be default-constructible and provide
+// merge(const Aggregate&) — core::error_counter and core::link_report do —
+// or a custom merge functor can be supplied.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mmtag/runtime/thread_pool.hpp"
+#include "mmtag/runtime/trial_rng.hpp"
+
+namespace mmtag::runtime {
+
+struct sweep_options {
+    std::size_t jobs = 1;            ///< executors; 0 = hardware_concurrency
+    std::uint64_t base_seed = 1;     ///< root of every trial's RNG stream
+    std::size_t trials_per_point = 1;
+    /// Called after every completed trial with (trials_done, trials_total).
+    /// Runs on worker threads — must be thread-safe. Optional.
+    std::function<void(std::size_t, std::size_t)> progress;
+};
+
+template <typename Aggregate>
+struct sweep_point_outcome {
+    Aggregate aggregate{};   ///< ordered fold of the point's trials
+    double busy_s = 0.0;     ///< summed per-trial execution time (not wall)
+};
+
+template <typename Aggregate>
+struct sweep_outcome {
+    std::vector<sweep_point_outcome<Aggregate>> points;
+    double wall_s = 0.0;     ///< end-to-end sweep wall-clock
+    std::size_t jobs = 1;    ///< executors actually used
+    std::size_t trials = 0;  ///< points x trials_per_point
+
+    [[nodiscard]] double trials_per_s() const
+    {
+        return wall_s > 0.0 ? static_cast<double>(trials) / wall_s : 0.0;
+    }
+};
+
+/// One-line human summary of a finished sweep: wall time, jobs, trial rate.
+[[nodiscard]] std::string summary_line(std::size_t points, std::size_t trials,
+                                       double wall_s, std::size_t jobs);
+
+/// A ready-made thread-safe progress callback that rewrites one stderr line
+/// ("sweep: 42/96 trials"); prints nothing when stderr is not a terminal.
+[[nodiscard]] std::function<void(std::size_t, std::size_t)> stderr_progress();
+
+/// Runs trial(point, trial_index, seed) for every point in [0, point_count)
+/// and every trial in [0, trials_per_point), reduced per point with
+/// merge(into, from) in (point, trial) order.
+template <typename Aggregate, typename TrialFn, typename MergeFn>
+sweep_outcome<Aggregate> run_sweep(const sweep_options& options, std::size_t point_count,
+                                   TrialFn&& trial, MergeFn&& merge)
+{
+    if (options.trials_per_point == 0) {
+        throw std::invalid_argument("run_sweep: trials_per_point must be >= 1");
+    }
+    const auto sweep_start = std::chrono::steady_clock::now();
+
+    thread_pool pool(options.jobs);
+    const std::size_t trials = options.trials_per_point;
+    const std::size_t total = point_count * trials;
+    std::vector<Aggregate> slots(total);
+    std::vector<double> slot_s(total, 0.0);
+    std::atomic<std::size_t> completed{0};
+
+    pool.parallel_for(total, [&](std::size_t index) {
+        const std::size_t point = index / trials;
+        const std::size_t t = index % trials;
+        const auto trial_start = std::chrono::steady_clock::now();
+        slots[index] = trial(point, t, trial_seed(options.base_seed, point, t));
+        slot_s[index] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - trial_start)
+                .count();
+        if (options.progress) {
+            const std::size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            options.progress(done, total);
+        }
+    });
+
+    sweep_outcome<Aggregate> outcome;
+    outcome.jobs = pool.jobs();
+    outcome.trials = total;
+    outcome.points.resize(point_count);
+    for (std::size_t point = 0; point < point_count; ++point) {
+        auto& slot = outcome.points[point];
+        slot.aggregate = std::move(slots[point * trials]);
+        slot.busy_s = slot_s[point * trials];
+        for (std::size_t t = 1; t < trials; ++t) {
+            merge(slot.aggregate, slots[point * trials + t]);
+            slot.busy_s += slot_s[point * trials + t];
+        }
+    }
+    outcome.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+            .count();
+    return outcome;
+}
+
+/// Convenience overload: Aggregate provides merge(const Aggregate&).
+template <typename Aggregate, typename TrialFn>
+sweep_outcome<Aggregate> run_sweep(const sweep_options& options, std::size_t point_count,
+                                   TrialFn&& trial)
+{
+    return run_sweep<Aggregate>(options, point_count, std::forward<TrialFn>(trial),
+                                [](Aggregate& into, const Aggregate& from) {
+                                    into.merge(from);
+                                });
+}
+
+} // namespace mmtag::runtime

@@ -1,0 +1,107 @@
+#include "mmtag/runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mmtag::runtime {
+
+std::size_t resolve_jobs(std::size_t requested)
+{
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+thread_pool::thread_pool(std::size_t jobs)
+{
+    const std::size_t executors = resolve_jobs(jobs);
+    workers_.reserve(executors - 1);
+    for (std::size_t w = 0; w + 1 < executors; ++w) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+}
+
+void thread_pool::run_shards(batch& work)
+{
+    for (;;) {
+        const std::size_t shard = work.next_shard.fetch_add(1, std::memory_order_relaxed);
+        if (shard >= work.shard_count) return;
+        if (work.abort.load(std::memory_order_relaxed)) continue; // drain cheaply
+        const std::size_t begin = shard * work.shard_size;
+        const std::size_t end = std::min(begin + work.shard_size, work.count);
+        try {
+            for (std::size_t i = begin; i < end; ++i) (*work.body)(i);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(work.error_mutex);
+            if (!work.error) work.error = std::current_exception();
+            work.abort.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+void thread_pool::worker_loop()
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        batch* work = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] { return stopping_ || generation_ != seen_generation; });
+            if (stopping_) return;
+            seen_generation = generation_;
+            work = current_;
+        }
+        run_shards(*work);
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++work->finished_workers;
+        }
+        done_.notify_one();
+    }
+}
+
+void thread_pool::parallel_for(std::size_t count,
+                               const std::function<void(std::size_t)>& body)
+{
+    if (count == 0) return;
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < count; ++i) body(i);
+        return;
+    }
+
+    batch work;
+    work.body = &body;
+    work.count = count;
+    // A few shards per executor balances load without a work queue; shards
+    // stay contiguous so neighbouring trials share cache.
+    const std::size_t target_shards = (workers_.size() + 1) * 4;
+    work.shard_size = std::max<std::size_t>(1, (count + target_shards - 1) / target_shards);
+    work.shard_count = (count + work.shard_size - 1) / work.shard_size;
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        current_ = &work;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    run_shards(work); // the caller is an executor too
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return work.finished_workers == workers_.size(); });
+        current_ = nullptr;
+    }
+    if (work.error) std::rethrow_exception(work.error);
+}
+
+} // namespace mmtag::runtime

@@ -1,0 +1,73 @@
+// Shard-based thread pool for the Monte-Carlo runtime. Deliberately
+// work-stealing-free: a parallel_for splits its index range into contiguous
+// shards that workers claim from a single atomic cursor, so every index runs
+// exactly once, on exactly one worker, with no cross-worker migration. The
+// pool makes no ordering promises — determinism is the sweep runner's job
+// (per-trial counter-based seeding + ordered reduction), which is why the
+// pool itself can stay this simple.
+//
+// The calling thread participates as a worker: a pool of `jobs` executors
+// spawns only jobs-1 threads, and jobs == 1 degenerates to a plain inline
+// loop (no threads, no atomics on the hot path) — the reference arm of the
+// determinism tests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mmtag::runtime {
+
+/// Resolves a --jobs request: 0 means "auto" (hardware_concurrency, at
+/// least 1); anything else is taken literally.
+[[nodiscard]] std::size_t resolve_jobs(std::size_t requested);
+
+class thread_pool {
+public:
+    /// `jobs` as per resolve_jobs; the pool keeps jobs-1 persistent workers.
+    explicit thread_pool(std::size_t jobs = 0);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Total executor count (persistent workers + the calling thread).
+    [[nodiscard]] std::size_t jobs() const { return workers_.size() + 1; }
+
+    /// Runs body(i) for every i in [0, count), sharded across the pool.
+    /// Blocks until every index has run. The first exception thrown by any
+    /// body is rethrown here (remaining shards are skipped, already-claimed
+    /// ones finish). Not reentrant: one parallel_for at a time per pool.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+private:
+    struct batch {
+        const std::function<void(std::size_t)>* body = nullptr;
+        std::size_t count = 0;
+        std::size_t shard_size = 1;
+        std::size_t shard_count = 0;
+        std::atomic<std::size_t> next_shard{0};
+        std::atomic<bool> abort{false};
+        std::exception_ptr error;
+        std::mutex error_mutex;
+        std::size_t finished_workers = 0; // guarded by pool mutex_
+    };
+
+    void worker_loop();
+    void run_shards(batch& work);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    batch* current_ = nullptr;
+    std::uint64_t generation_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace mmtag::runtime

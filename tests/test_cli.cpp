@@ -125,6 +125,25 @@ TEST(commands, link_presets)
     EXPECT_EQ(dispatch(4, bogus), 1);
 }
 
+TEST(commands, sweep_runs_and_rejects_typos)
+{
+    const char* ok[] = {"mmtag_sim", "sweep", "--points", "2", "--trials", "2",
+                        "--frames", "1", "--jobs", "2"};
+    EXPECT_EQ(dispatch(10, ok), 0);
+    const char* typo[] = {"mmtag_sim", "sweep", "--trails", "2"};
+    EXPECT_EQ(dispatch(4, typo), 1);
+    const char* zero[] = {"mmtag_sim", "sweep", "--points", "0"};
+    EXPECT_EQ(dispatch(4, zero), 1);
+}
+
+TEST(commands, faults_multi_trial_runs)
+{
+    const char* argv[] = {"mmtag_sim", "faults", "--frames", "20", "--trials", "2",
+                          "--jobs", "2"};
+    const int code = dispatch(8, argv);
+    EXPECT_TRUE(code == 0 || code == 2) << code;
+}
+
 TEST(commands, link_plate_at_angle_fails_gracefully)
 {
     // A flat-plate tag rotated 30 degrees loses the link: exit code 2

@@ -1,0 +1,262 @@
+// merge() on the aggregation types the parallel sweep runner reduces with:
+// exactness against sequential accumulation, associativity, and the
+// zero-observation edge cases.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mmtag/core/config.hpp"
+#include "mmtag/core/link_simulator.hpp"
+#include "mmtag/core/metrics.hpp"
+#include "mmtag/phy/bitio.hpp"
+
+namespace mmtag::core {
+namespace {
+
+struct frame_case {
+    std::vector<std::uint8_t> sent;
+    std::vector<std::uint8_t> received;
+    bool delivered = false;
+    bool lost = false;
+};
+
+std::vector<frame_case> sample_frames()
+{
+    std::vector<frame_case> frames;
+    frames.push_back({{0x00, 0xff, 0x0f}, {0x00, 0xff, 0x0f}, true, false});
+    frames.push_back({{0xaa, 0x55}, {0xab, 0x55}, false, false});       // 1 bit
+    frames.push_back({{0xff, 0x00, 0x81}, {0x00, 0xff, 0x81}, false, false}); // 16
+    frames.push_back({{0x12, 0x34}, {}, false, true});                  // lost
+    frames.push_back({{0x01}, {0x01}, true, false});
+    frames.push_back({{0xf0, 0xf0, 0xf0, 0xf0}, {0xf0, 0xf0, 0xf0, 0xf1}, false, false});
+    frames.push_back({{0xde, 0xad}, {}, false, true});                  // lost
+    return frames;
+}
+
+void feed(error_counter& counter, const frame_case& frame)
+{
+    if (frame.lost) {
+        counter.add_lost_frame(frame.sent.size());
+    } else {
+        counter.add_frame(frame.sent, frame.received, frame.delivered);
+    }
+}
+
+TEST(error_counter_merge, agrees_with_sequential_accumulation)
+{
+    const auto frames = sample_frames();
+
+    error_counter sequential;
+    for (const auto& frame : frames) feed(sequential, frame);
+
+    // Split the same stream across three counters, then fold them in order.
+    std::array<error_counter, 3> shards;
+    for (std::size_t i = 0; i < frames.size(); ++i) feed(shards[i % 3], frames[i]);
+    error_counter merged = shards[0];
+    merged.merge(shards[1]);
+    merged.merge(shards[2]);
+
+    EXPECT_EQ(merged.frames(), sequential.frames());
+    EXPECT_EQ(merged.frames_delivered(), sequential.frames_delivered());
+    EXPECT_EQ(merged.bits(), sequential.bits());
+    EXPECT_EQ(merged.bit_errors(), sequential.bit_errors());
+    EXPECT_DOUBLE_EQ(merged.ber(), sequential.ber());
+    EXPECT_DOUBLE_EQ(merged.per(), sequential.per());
+    EXPECT_DOUBLE_EQ(merged.ber_confidence(), sequential.ber_confidence());
+}
+
+TEST(error_counter_merge, is_associative)
+{
+    error_counter a, b, c;
+    a.add_bits(1000, 7);
+    a.add_lost_frame(4);
+    b.add_bits(500, 0);
+    b.add_frame(std::array<std::uint8_t, 2>{0xff, 0x00},
+                std::array<std::uint8_t, 2>{0xfe, 0x00}, false);
+    c.add_bits(2500, 31);
+
+    error_counter left = a;   // (a + b) + c
+    left.merge(b);
+    left.merge(c);
+    error_counter bc = b;     // a + (b + c)
+    bc.merge(c);
+    error_counter right = a;
+    right.merge(bc);
+
+    EXPECT_EQ(left.frames(), right.frames());
+    EXPECT_EQ(left.frames_delivered(), right.frames_delivered());
+    EXPECT_EQ(left.bits(), right.bits());
+    EXPECT_EQ(left.bit_errors(), right.bit_errors());
+}
+
+TEST(error_counter_merge, empty_and_zero_edges)
+{
+    error_counter empty;
+    EXPECT_EQ(empty.bits(), 0u);
+    EXPECT_DOUBLE_EQ(empty.ber(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.per(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.ber_confidence(), 0.0);
+
+    // Merging an empty counter changes nothing; merging into empty copies.
+    error_counter some;
+    some.add_bits(64, 2);
+    error_counter copy = some;
+    copy.merge(empty);
+    EXPECT_EQ(copy.bits(), some.bits());
+    EXPECT_EQ(copy.bit_errors(), some.bit_errors());
+    error_counter other;
+    other.merge(some);
+    EXPECT_EQ(other.bits(), some.bits());
+    EXPECT_EQ(other.bit_errors(), some.bit_errors());
+
+    // add_bits is symbol-level: frame statistics stay untouched.
+    EXPECT_EQ(some.frames(), 0u);
+    EXPECT_DOUBLE_EQ(some.per(), 0.0);
+
+    // Zero errors over nonzero bits: ber 0 but a nonzero confidence width.
+    error_counter clean;
+    clean.add_bits(10000, 0);
+    EXPECT_DOUBLE_EQ(clean.ber(), 0.0);
+    EXPECT_GT(clean.ber_confidence(), 0.0);
+}
+
+TEST(link_report_merge, recomputes_derived_figures_from_sums)
+{
+    link_report a;
+    a.frames = 10;
+    a.frames_delivered = 8;
+    a.bits = 1000;
+    a.bit_errors = 5;
+    a.snr_samples = 9;
+    a.snr_sum_db = 180.0;
+    a.evm_samples = 9;
+    a.evm_sum_db = -90.0;
+    a.airtime_s = 0.5;
+    a.delivered_bits = 800;
+    a.tag_energy_j = 2e-6;
+    a.recompute();
+
+    link_report b;
+    b.frames = 30;
+    b.frames_delivered = 15;
+    b.bits = 3000;
+    b.bit_errors = 55;
+    b.snr_samples = 21;
+    b.snr_sum_db = 315.0;
+    b.evm_samples = 21;
+    b.evm_sum_db = -420.0;
+    b.airtime_s = 1.5;
+    b.delivered_bits = 1500;
+    b.tag_energy_j = 6e-6;
+    b.recompute();
+
+    link_report merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.frames, 40u);
+    EXPECT_EQ(merged.frames_delivered, 23u);
+    EXPECT_EQ(merged.bits, 4000u);
+    EXPECT_EQ(merged.bit_errors, 60u);
+    EXPECT_DOUBLE_EQ(merged.ber, 60.0 / 4000.0);
+    EXPECT_DOUBLE_EQ(merged.per, 1.0 - 23.0 / 40.0);
+    EXPECT_DOUBLE_EQ(merged.mean_snr_db, (180.0 + 315.0) / 30.0);
+    EXPECT_DOUBLE_EQ(merged.mean_evm_db, (-90.0 - 420.0) / 30.0);
+    EXPECT_DOUBLE_EQ(merged.goodput_bps, 2300.0 / 2.0);
+    EXPECT_DOUBLE_EQ(merged.tag_energy_per_bit_j, 8e-6 / 4000.0);
+}
+
+TEST(link_report_merge, is_associative_on_counts_and_tight_on_sums)
+{
+    const auto make = [](std::uint64_t seed, double distance) {
+        auto cfg = fast_scenario();
+        cfg.seed = seed;
+        cfg.distance_m = distance;
+        link_simulator sim(cfg);
+        return sim.run_trials(3, 16);
+    };
+    const auto a = make(1, 2.0);
+    const auto b = make(2, 3.0);
+    const auto c = make(3, 4.5);
+
+    link_report left = a;
+    left.merge(b);
+    left.merge(c);
+    link_report bc = b;
+    bc.merge(c);
+    link_report right = a;
+    right.merge(bc);
+
+    EXPECT_EQ(left.frames, right.frames);
+    EXPECT_EQ(left.frames_delivered, right.frames_delivered);
+    EXPECT_EQ(left.bits, right.bits);
+    EXPECT_EQ(left.bit_errors, right.bit_errors);
+    EXPECT_EQ(left.snr_samples, right.snr_samples);
+    EXPECT_NEAR(left.snr_sum_db, right.snr_sum_db, 1e-9);
+    EXPECT_NEAR(left.goodput_bps, right.goodput_bps, 1e-6);
+    EXPECT_NEAR(left.mean_snr_db, right.mean_snr_db, 1e-9);
+}
+
+TEST(link_report_merge, agrees_with_simulator_accumulation)
+{
+    // Two independent simulator runs merged must equal the frame-level sums
+    // of their parts — no hidden state outside the sufficient statistics.
+    auto cfg = fast_scenario();
+    cfg.seed = 7;
+    cfg.distance_m = 3.0;
+    link_simulator sim_a(cfg);
+    const auto a = sim_a.run_trials(4, 16);
+    cfg.seed = 8;
+    link_simulator sim_b(cfg);
+    const auto b = sim_b.run_trials(6, 16);
+
+    link_report merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.frames, a.frames + b.frames);
+    EXPECT_EQ(merged.bits, a.bits + b.bits);
+    EXPECT_EQ(merged.bit_errors, a.bit_errors + b.bit_errors);
+    EXPECT_EQ(merged.frames_delivered, a.frames_delivered + b.frames_delivered);
+    EXPECT_DOUBLE_EQ(merged.airtime_s, a.airtime_s + b.airtime_s);
+    const double total_bits = static_cast<double>(merged.bits);
+    if (merged.bits > 0) {
+        EXPECT_DOUBLE_EQ(merged.ber,
+                         static_cast<double>(merged.bit_errors) / total_bits);
+    }
+}
+
+TEST(link_report_merge, zero_observation_edges)
+{
+    link_report empty;
+    empty.recompute();
+    EXPECT_DOUBLE_EQ(empty.ber, 0.0);
+    EXPECT_DOUBLE_EQ(empty.per, 0.0);
+    EXPECT_DOUBLE_EQ(empty.mean_snr_db, -100.0); // no frame found: floor
+    EXPECT_DOUBLE_EQ(empty.mean_evm_db, 0.0);
+    EXPECT_DOUBLE_EQ(empty.goodput_bps, 0.0);
+    EXPECT_DOUBLE_EQ(empty.ber_confidence(), 0.0);
+
+    // Merging empty into a real report leaves the figures unchanged.
+    auto cfg = fast_scenario();
+    cfg.seed = 3;
+    link_simulator sim(cfg);
+    const auto real = sim.run_trials(2, 16);
+    link_report merged = real;
+    merged.merge(empty);
+    EXPECT_EQ(merged.frames, real.frames);
+    EXPECT_DOUBLE_EQ(merged.ber, real.ber);
+    EXPECT_DOUBLE_EQ(merged.per, real.per);
+    EXPECT_DOUBLE_EQ(merged.mean_snr_db, real.mean_snr_db);
+    EXPECT_DOUBLE_EQ(merged.goodput_bps, real.goodput_bps);
+
+    // All frames lost: per 1, snr floor.
+    link_report lost;
+    lost.frames = 5;
+    lost.bits = 5 * 128;
+    lost.bit_errors = 5 * 64;
+    lost.recompute();
+    EXPECT_DOUBLE_EQ(lost.per, 1.0);
+    EXPECT_DOUBLE_EQ(lost.mean_snr_db, -100.0);
+}
+
+} // namespace
+} // namespace mmtag::core

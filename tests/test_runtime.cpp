@@ -1,0 +1,477 @@
+// The parallel Monte-Carlo runtime: shard pool semantics, the frozen
+// counter-based seeding scheme, the jobs-invariance determinism contract,
+// replay under injected faults on the parallel path, and the stability of
+// the JSON result schema.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mmtag/core/link_simulator.hpp"
+#include "mmtag/core/metrics.hpp"
+#include "mmtag/core/multitag_simulator.hpp"
+#include "mmtag/core/config.hpp"
+#include "mmtag/core/supervised_link.hpp"
+#include "mmtag/fault/fault_injector.hpp"
+#include "mmtag/phy/bitio.hpp"
+#include "mmtag/runtime/result_writer.hpp"
+#include "mmtag/runtime/sweep_runner.hpp"
+#include "mmtag/runtime/thread_pool.hpp"
+#include "mmtag/runtime/trial_rng.hpp"
+
+namespace mmtag::runtime {
+namespace {
+
+// ---------------------------------------------------------------- thread_pool
+
+TEST(thread_pool, runs_every_index_exactly_once)
+{
+    constexpr std::size_t count = 1000;
+    std::vector<std::atomic<int>> hits(count);
+    thread_pool pool(4);
+    EXPECT_EQ(pool.jobs(), 4u);
+    pool.parallel_for(count, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(thread_pool, single_job_runs_inline_in_order)
+{
+    thread_pool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    std::vector<std::size_t> order;
+    pool.parallel_for(16, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), std::this_thread::get_id());
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 16u);
+    for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(thread_pool, empty_range_and_reuse)
+{
+    thread_pool pool(3);
+    pool.parallel_for(0, [&](std::size_t) { FAIL() << "body ran for count 0"; });
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(7, [&](std::size_t) { total.fetch_add(1); });
+    pool.parallel_for(5, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 12u);
+}
+
+TEST(thread_pool, propagates_first_exception)
+{
+    thread_pool pool(4);
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                       if (i == 13) {
+                                           throw std::runtime_error("boom");
+                                       }
+                                   }),
+                 std::runtime_error);
+    // Pool must survive a failed batch.
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 8u);
+}
+
+TEST(thread_pool, resolve_jobs_auto_is_positive)
+{
+    EXPECT_GE(resolve_jobs(0), 1u);
+    EXPECT_EQ(resolve_jobs(1), 1u);
+    EXPECT_EQ(resolve_jobs(6), 6u);
+    thread_pool pool(0);
+    EXPECT_GE(pool.jobs(), 1u);
+}
+
+// ------------------------------------------------------------------ trial_rng
+
+TEST(trial_rng, constants_are_frozen)
+{
+    // mix64 is the SplitMix64 output function; mix64(0) is the well-known
+    // first output of a seed-0 splitmix stream. Recorded BENCH_*.json
+    // baselines depend on these values never changing.
+    EXPECT_EQ(mix64(0), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(trial_seed(1, 0, 0), mix64(mix64(mix64(1))));
+    EXPECT_EQ(substream(7, 0), mix64(7 ^ 0xa0761d6478bd642fULL));
+}
+
+TEST(trial_rng, seeds_are_deterministic_and_distinct)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t point = 0; point < 16; ++point) {
+        for (std::uint64_t trial = 0; trial < 16; ++trial) {
+            const auto seed = trial_seed(42, point, trial);
+            EXPECT_EQ(seed, trial_seed(42, point, trial));
+            EXPECT_TRUE(seen.insert(seed).second)
+                << "collision at point " << point << " trial " << trial;
+        }
+    }
+    // Different base seeds give unrelated streams.
+    EXPECT_NE(trial_seed(1, 0, 0), trial_seed(2, 0, 0));
+    // Substreams of one trial differ from the trial seed and each other.
+    const auto seed = trial_seed(1, 3, 5);
+    EXPECT_NE(substream(seed, 0), seed);
+    EXPECT_NE(substream(seed, 0), substream(seed, 1));
+}
+
+// ----------------------------------------------------------------- run_sweep
+
+/// Cheap deterministic stand-in workload: counts pseudo-random "errors".
+core::error_counter synthetic_trial(std::size_t point, std::uint64_t seed)
+{
+    core::error_counter counter;
+    std::uint64_t x = seed;
+    for (std::size_t block = 0; block < 8; ++block) {
+        x = mix64(x);
+        counter.add_bits(64 + point, static_cast<std::size_t>(x % 5));
+    }
+    return counter;
+}
+
+TEST(sweep_runner, shapes_and_counts)
+{
+    sweep_options options;
+    options.jobs = 2;
+    options.base_seed = 9;
+    options.trials_per_point = 3;
+    std::atomic<std::size_t> progress_calls{0};
+    options.progress = [&](std::size_t done, std::size_t total) {
+        EXPECT_LE(done, total);
+        progress_calls.fetch_add(1);
+    };
+    const auto out = run_sweep<core::error_counter>(
+        options, 4,
+        [](std::size_t point, std::size_t, std::uint64_t seed) {
+            return synthetic_trial(point, seed);
+        });
+    EXPECT_EQ(out.points.size(), 4u);
+    EXPECT_EQ(out.trials, 12u);
+    EXPECT_EQ(out.jobs, 2u);
+    EXPECT_EQ(progress_calls.load(), 12u);
+    EXPECT_GE(out.wall_s, 0.0);
+    for (const auto& point : out.points) {
+        EXPECT_EQ(point.aggregate.bits() % 8, 0u); // 3 trials x 8 blocks
+        EXPECT_GE(point.busy_s, 0.0);
+    }
+}
+
+TEST(sweep_runner, rejects_zero_trials)
+{
+    sweep_options options;
+    options.trials_per_point = 0;
+    EXPECT_THROW(run_sweep<core::error_counter>(
+                     options, 1,
+                     [](std::size_t, std::size_t, std::uint64_t) {
+                         return core::error_counter{};
+                     }),
+                 std::invalid_argument);
+}
+
+TEST(sweep_runner, jobs_invariant_error_counts)
+{
+    const auto run_with = [](std::size_t jobs) {
+        sweep_options options;
+        options.jobs = jobs;
+        options.base_seed = 77;
+        options.trials_per_point = 6;
+        return run_sweep<core::error_counter>(
+            options, 5,
+            [](std::size_t point, std::size_t, std::uint64_t seed) {
+                return synthetic_trial(point, seed);
+            });
+    };
+    const auto serial = run_with(1);
+    const auto parallel = run_with(8);
+    ASSERT_EQ(serial.points.size(), parallel.points.size());
+    for (std::size_t p = 0; p < serial.points.size(); ++p) {
+        EXPECT_EQ(serial.points[p].aggregate.bits(), parallel.points[p].aggregate.bits());
+        EXPECT_EQ(serial.points[p].aggregate.bit_errors(),
+                  parallel.points[p].aggregate.bit_errors());
+    }
+}
+
+// --------------------------------------------- determinism regression (R5ish)
+
+/// A miniature R5-style sweep over real link simulations, rendered through
+/// the result_writer; the aggregates JSON must be byte-identical no matter
+/// how many jobs executed it.
+std::string link_sweep_aggregates(std::size_t jobs)
+{
+    constexpr double kDistances[] = {2.0, 4.0};
+    sweep_options options;
+    options.jobs = jobs;
+    options.base_seed = 5;
+    options.trials_per_point = 3;
+    const auto out = run_sweep<core::link_report>(
+        options, std::size(kDistances),
+        [&](std::size_t point, std::size_t, std::uint64_t seed) {
+            auto cfg = core::fast_scenario();
+            cfg.distance_m = kDistances[point];
+            cfg.seed = seed;
+            core::link_simulator sim(cfg);
+            return sim.run_trials(2, 16);
+        });
+    result_writer results("TEST", "determinism regression", {"distance_m"}, 5);
+    for (std::size_t point = 0; point < std::size(kDistances); ++point) {
+        auto axis = json_value::object();
+        axis.set("distance_m", json_value::number(kDistances[point]));
+        results.add_point(std::move(axis), options.trials_per_point,
+                          result_writer::metrics(out.points[point].aggregate));
+    }
+    return results.aggregates_json();
+}
+
+TEST(determinism, link_sweep_json_is_byte_identical_across_jobs)
+{
+    const auto serial = link_sweep_aggregates(1);
+    EXPECT_EQ(serial, link_sweep_aggregates(8));
+    EXPECT_EQ(serial, link_sweep_aggregates(3));
+    // And stable across repeat runs of the same configuration.
+    EXPECT_EQ(serial, link_sweep_aggregates(1));
+}
+
+TEST(determinism, faulted_trials_replay_on_parallel_path)
+{
+    // The faults CLI path: (trial x arm) tasks over the pool, each with its
+    // own simulator and counter-derived fault schedule. Running the grid
+    // under 1 and 4 jobs must produce identical reports slot for slot.
+    const auto run_grid = [](std::size_t jobs) {
+        constexpr std::size_t trials = 3;
+        fault::fault_schedule::config sched_cfg;
+        sched_cfg.horizon_s = 0.03;
+        sched_cfg.event_rate_hz = 200.0;
+        sched_cfg.mean_duration_s = 1e-3;
+        std::vector<ap::supervised_report> reports(trials);
+        thread_pool pool(jobs);
+        pool.parallel_for(trials, [&](std::size_t t) {
+            auto cfg = core::fast_scenario();
+            cfg.distance_m = 4.0;
+            cfg.seed = 11;
+            core::link_simulator link(cfg);
+            fault::fault_injector faults{
+                fault::fault_schedule(sched_cfg, 42 + t)};
+            reports[t] = core::run_supervised_link(link, &faults, {}, 30, 16);
+        });
+        return reports;
+    };
+    const auto serial = run_grid(1);
+    const auto parallel = run_grid(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t t = 0; t < serial.size(); ++t) {
+        EXPECT_EQ(serial[t].frames_offered, parallel[t].frames_offered);
+        EXPECT_EQ(serial[t].frames_delivered, parallel[t].frames_delivered);
+        EXPECT_EQ(serial[t].recovery.outages, parallel[t].recovery.outages);
+        EXPECT_EQ(serial[t].recovery.reacquisitions,
+                  parallel[t].recovery.reacquisitions);
+        EXPECT_DOUBLE_EQ(serial[t].elapsed_s, parallel[t].elapsed_s);
+        EXPECT_DOUBLE_EQ(serial[t].goodput_bps, parallel[t].goodput_bps);
+    }
+}
+
+TEST(determinism, multitag_reseed_replays_exactly)
+{
+    auto cfg = core::fast_scenario();
+    cfg.seed = 21;
+    std::vector<core::tag_descriptor> tags{{0, 2.0, 0.0}, {1, 3.5, 0.2}};
+    core::multitag_simulator sim(cfg, tags);
+
+    const double slot_s = sim.burst_duration_s(16) + 20e-6;
+    std::vector<core::tag_burst> bursts;
+    for (std::size_t t = 0; t < tags.size(); ++t) {
+        bursts.push_back({t, phy::random_bytes(16, substream(21, 2 + t)),
+                          static_cast<double>(t) * slot_s});
+    }
+    const auto first = sim.run(bursts);
+    sim.reseed(21);
+    const auto replay = sim.run(bursts);
+    ASSERT_EQ(first.size(), replay.size());
+    for (std::size_t t = 0; t < first.size(); ++t) {
+        EXPECT_EQ(first[t].delivered, replay[t].delivered);
+        EXPECT_DOUBLE_EQ(first[t].snr_db, replay[t].snr_db);
+    }
+}
+
+// ----------------------------------------------------------------- JSON model
+
+/// Minimal strict JSON syntax checker (objects/arrays/strings/numbers/
+/// booleans/null) — enough to prove the emitted documents parse.
+class json_checker {
+public:
+    explicit json_checker(const std::string& text) : text_(text) {}
+
+    bool valid()
+    {
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+private:
+    bool value()
+    {
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_; // {
+        skip_ws();
+        if (peek() == '}') { ++pos_; return true; }
+        while (true) {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // [
+        skip_ws();
+        if (peek() == ']') { ++pos_; return true; }
+        while (true) {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size()) return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool literal(const char* word)
+    {
+        const std::string w(word);
+        if (text_.compare(pos_, w.size(), w) != 0) return false;
+        pos_ += w.size();
+        return true;
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    void skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+            ++pos_;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+TEST(json_model, serialization_is_ordered_and_escaped)
+{
+    auto doc = json_value::object();
+    doc.set("zeta", json_value::integer(-3));
+    doc.set("alpha", json_value::string("line\n\"quoted\"\\"));
+    doc.set("flag", json_value::boolean(true));
+    auto arr = json_value::array();
+    arr.push(json_value::number(0.5));
+    arr.push(json_value::null());
+    doc.set("items", std::move(arr));
+    // Insertion order, not alphabetical; escapes applied.
+    EXPECT_EQ(doc.dump(),
+              "{\"zeta\":-3,\"alpha\":\"line\\n\\\"quoted\\\"\\\\\","
+              "\"flag\":true,\"items\":[0.5,null]}");
+    EXPECT_TRUE(json_checker(doc.dump()).valid());
+    EXPECT_TRUE(json_checker(doc.dump(2)).valid());
+    // Duplicate keys overwrite in place (stable position).
+    doc.set("zeta", json_value::integer(9));
+    EXPECT_EQ(doc.dump().find("\"zeta\":9"), 1u);
+}
+
+TEST(json_model, numbers_round_trip)
+{
+    for (const double v : {0.0, 1.0, -1.5, 1.0 / 3.0, 3.333e-5, 1e20, 123456.789}) {
+        auto value = json_value::number(v);
+        const auto text = value.dump();
+        EXPECT_DOUBLE_EQ(std::stod(text), v) << text;
+    }
+    EXPECT_EQ(json_value::unsigned_integer(18446744073709551615ULL).dump(),
+              "18446744073709551615");
+}
+
+TEST(result_writer, documents_are_schema_valid)
+{
+    result_writer results("R99", "schema test", {"x"}, 4);
+    core::error_counter counter;
+    counter.add_bits(1000, 3);
+    auto axis = json_value::object();
+    axis.set("x", json_value::number(1.0));
+    results.add_point(std::move(axis), 2, result_writer::metrics(counter));
+
+    const auto aggregates = results.aggregates_json();
+    EXPECT_TRUE(json_checker(aggregates).valid()) << aggregates;
+    EXPECT_NE(aggregates.find("\"schema\": \"mmtag.bench.result/1\""),
+              std::string::npos);
+    EXPECT_NE(aggregates.find("\"id\": \"R99\""), std::string::npos);
+    EXPECT_NE(aggregates.find("\"axes\""), std::string::npos);
+    EXPECT_NE(aggregates.find("\"trials\": 2"), std::string::npos);
+    // The run section only appears in the full document.
+    EXPECT_EQ(aggregates.find("\"run\""), std::string::npos);
+
+    const auto document = results.document(1.5, 4, 8.0);
+    EXPECT_TRUE(json_checker(document).valid()) << document;
+    EXPECT_NE(document.find("\"run\""), std::string::npos);
+    EXPECT_NE(document.find("\"jobs\": 4"), std::string::npos);
+    EXPECT_NE(document.find("\"git\":"), std::string::npos);
+
+    EXPECT_EQ(default_output_path("R99"), "bench/out/BENCH_R99.json");
+}
+
+} // namespace
+} // namespace mmtag::runtime
