@@ -7,6 +7,9 @@
 #include "mmtag/core/link_simulator.hpp"
 #include "mmtag/dsp/fft.hpp"
 #include "mmtag/fec/convolutional.hpp"
+#include "mmtag/obs/metrics_registry.hpp"
+#include "mmtag/obs/scoped_timer.hpp"
+#include "mmtag/obs/trace.hpp"
 #include "mmtag/phy/bitio.hpp"
 #include "mmtag/phy/frame.hpp"
 
@@ -78,6 +81,71 @@ void bm_full_link_frame(benchmark::State& state)
     }
 }
 BENCHMARK(bm_full_link_frame)->Unit(benchmark::kMillisecond);
+
+// The observability overhead contract: with no registry attached and no
+// trace session, the per-frame cost is a couple of null/flag checks —
+// compare against bm_full_link_frame (< 3% is the acceptance bar).
+void bm_full_link_frame_with_metrics(benchmark::State& state)
+{
+    core::link_simulator sim(bench::bench_scenario());
+    obs::metrics_registry metrics;
+    sim.attach_metrics(&metrics);
+    const auto payload = phy::random_bytes(32, 11);
+    for (auto _ : state) {
+        auto result = sim.run_frame(payload);
+        benchmark::DoNotOptimize(&result);
+    }
+}
+BENCHMARK(bm_full_link_frame_with_metrics)->Unit(benchmark::kMillisecond);
+
+void bm_obs_counter_add(benchmark::State& state)
+{
+    obs::metrics_registry metrics;
+    auto& counter = metrics.get_counter("bench/counter");
+    for (auto _ : state) {
+        counter.add();
+        benchmark::DoNotOptimize(&counter);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_obs_counter_add);
+
+void bm_obs_histogram_observe(benchmark::State& state)
+{
+    obs::metrics_registry metrics;
+    auto& histogram = metrics.get_histogram("bench/snr_db", obs::snr_bounds_db());
+    double value = -12.0;
+    for (auto _ : state) {
+        histogram.observe(value);
+        value += 0.37;
+        if (value > 45.0) value = -12.0;
+        benchmark::DoNotOptimize(&histogram);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_obs_histogram_observe);
+
+void bm_obs_scoped_timer_disabled(benchmark::State& state)
+{
+    // nullptr registry: the timer must skip both clock reads.
+    for (auto _ : state) {
+        MMTAG_SCOPED_TIMER(static_cast<obs::metrics_registry*>(nullptr), "time/bench");
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_obs_scoped_timer_disabled);
+
+void bm_obs_trace_emit_inactive(benchmark::State& state)
+{
+    // No session: one relaxed atomic load per emit.
+    for (auto _ : state) {
+        obs::trace_instant("bench.instant", "bench");
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_obs_trace_emit_inactive);
 
 } // namespace
 

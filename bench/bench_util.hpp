@@ -4,6 +4,7 @@
 // finish in seconds).
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -22,6 +23,37 @@ struct bench_options {
     std::size_t jobs = 0;    ///< --jobs N parallel executors; 0 = auto
     std::uint64_t seed = 1;  ///< --seed S: base of the per-trial seeding scheme
     std::map<std::string, std::string> extra;
+
+    /// Strict non-negative integer: strtoull would wrap "--jobs -1" to
+    /// 2^64-1 and truncate "1e3" to 1, silently running the wrong bench —
+    /// reject anything that is not purely digits, plus overflow.
+    [[nodiscard]] static std::uint64_t parse_u64_or_die(const std::string& text,
+                                                        const char* key)
+    {
+        if (!text.empty() && text.find_first_not_of("0123456789") == std::string::npos) {
+            errno = 0;
+            char* end = nullptr;
+            const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+            if (errno == 0 && end != nullptr && *end == '\0') return value;
+        }
+        std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+                     key, text.c_str());
+        std::exit(2);
+    }
+
+    /// Strict double: the whole token must parse ("3.x" and "" are errors).
+    [[nodiscard]] static double parse_double_or_die(const std::string& text,
+                                                    const char* key)
+    {
+        if (!text.empty()) {
+            char* end = nullptr;
+            const double value = std::strtod(text.c_str(), &end);
+            if (end != nullptr && *end == '\0') return value;
+        }
+        std::fprintf(stderr, "error: %s expects a number, got '%s'\n", key,
+                     text.c_str());
+        std::exit(2);
+    }
 
     /// Parses argv; prints a message and exits(2) on malformed input so
     /// bench mains stay one-liners.
@@ -43,9 +75,9 @@ struct bench_options {
                 opts.json_path = value_of(i, "--json");
             } else if (arg == "--jobs") {
                 opts.jobs = static_cast<std::size_t>(
-                    std::strtoull(value_of(i, "--jobs").c_str(), nullptr, 10));
+                    parse_u64_or_die(value_of(i, "--jobs"), "--jobs"));
             } else if (arg == "--seed") {
-                opts.seed = std::strtoull(value_of(i, "--seed").c_str(), nullptr, 10);
+                opts.seed = parse_u64_or_die(value_of(i, "--seed"), "--seed");
             } else if (arg.rfind("--", 0) == 0 && arg.size() > 2) {
                 // Bench-specific: `--key value` (value may be omitted for flags).
                 const bool has_value = i + 1 < argc &&
@@ -63,14 +95,15 @@ struct bench_options {
                                           std::uint64_t fallback) const
     {
         const auto it = extra.find(key);
-        return it == extra.end() ? fallback
-                                 : std::strtoull(it->second.c_str(), nullptr, 10);
+        if (it == extra.end()) return fallback;
+        return parse_u64_or_die(it->second, ("--" + key).c_str());
     }
 
     [[nodiscard]] double extra_double(const std::string& key, double fallback) const
     {
         const auto it = extra.find(key);
-        return it == extra.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+        if (it == extra.end()) return fallback;
+        return parse_double_or_die(it->second, ("--" + key).c_str());
     }
 };
 

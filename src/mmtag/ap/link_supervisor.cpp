@@ -1,9 +1,27 @@
 #include "mmtag/ap/link_supervisor.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
+#include "mmtag/obs/metrics_registry.hpp"
+#include "mmtag/obs/trace.hpp"
+
 namespace mmtag::ap {
+
+namespace {
+
+// State-transition trace marker with the link-time context an outage
+// post-mortem needs.
+void trace_transition(const char* name, double now_s)
+{
+    if (!obs::tracer::active()) return;
+    char args[48];
+    std::snprintf(args, sizeof args, "{\"link_s\": %.6f}", now_s);
+    obs::trace_instant(name, "supervisor", args);
+}
+
+} // namespace
 
 double recovery_metrics::mean_detect_s() const
 {
@@ -57,8 +75,12 @@ void link_supervisor::record(bool delivered, double snr_db, double now_s, bool w
 {
     if (was_probe) {
         ++metrics_.probes;
+        if (cfg_.metrics != nullptr) cfg_.metrics->get_counter("supervisor/probes").add();
     } else {
         ++metrics_.transmissions;
+        if (cfg_.metrics != nullptr) {
+            cfg_.metrics->get_counter("supervisor/transmissions").add();
+        }
     }
     if (delivered) {
         if (state_ == supervisor_state::outage) {
@@ -66,6 +88,11 @@ void link_supervisor::record(bool delivered, double snr_db, double now_s, bool w
             const double recover = std::max(0.0, now_s - declared_s_);
             metrics_.recover_total_s += recover;
             metrics_.recover_max_s = std::max(metrics_.recover_max_s, recover);
+            if (cfg_.metrics != nullptr) {
+                cfg_.metrics->get_counter("supervisor/recoveries").add();
+                cfg_.metrics->get_gauge("supervisor/recover_s").set(recover);
+            }
+            trace_transition("supervisor.recovered", now_s);
         }
         state_ = supervisor_state::nominal;
         fail_streak_ = 0;
@@ -93,7 +120,18 @@ void link_supervisor::record(bool delivered, double snr_db, double now_s, bool w
         metrics_.detect_total_s += detect;
         metrics_.detect_max_s = std::max(metrics_.detect_max_s, detect);
         probes_since_reacquire_ = 0;
+        if (cfg_.metrics != nullptr) {
+            cfg_.metrics->get_counter("supervisor/outages").add();
+            cfg_.metrics->get_gauge("supervisor/detect_s").set(detect);
+        }
+        trace_transition("supervisor.outage", now_s);
     } else {
+        if (state_ != supervisor_state::alert) {
+            if (cfg_.metrics != nullptr) {
+                cfg_.metrics->get_counter("supervisor/alerts").add();
+            }
+            trace_transition("supervisor.alert", now_s);
+        }
         state_ = supervisor_state::alert;
     }
 }
@@ -102,6 +140,10 @@ void link_supervisor::note_reacquisition()
 {
     ++metrics_.reacquisitions;
     probes_since_reacquire_ = 0;
+    if (cfg_.metrics != nullptr) {
+        cfg_.metrics->get_counter("supervisor/reacquisitions").add();
+    }
+    trace_transition("supervisor.reacquire", 0.0);
 }
 
 double supervised_report::delivery_ratio() const

@@ -17,6 +17,10 @@
 #include "mmtag/ap/rate_adaptation.hpp"
 #include "mmtag/mac/arq.hpp"
 
+namespace mmtag::obs {
+class metrics_registry;
+}
+
 namespace mmtag::ap {
 
 enum class supervisor_state {
@@ -46,6 +50,9 @@ struct supervisor_config {
     /// Fall back through the rate ladder during outages and ramp back via
     /// smoothed SNR; the adapted rate never exceeds the nominal rate.
     bool rate_fallback = true;
+    /// Optional observability registry: attempt/outage/recovery counters and
+    /// state-transition trace events. Not owned; nullptr disables.
+    obs::metrics_registry* metrics = nullptr;
 };
 
 struct recovery_metrics {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <random>
 #include <stdexcept>
 #include <vector>
@@ -15,6 +17,8 @@
 #include "mmtag/core/supervised_link.hpp"
 #include "mmtag/fault/fault_injector.hpp"
 #include "mmtag/mac/slotted_aloha.hpp"
+#include "mmtag/obs/metrics_registry.hpp"
+#include "mmtag/obs/trace.hpp"
 #include "mmtag/runtime/result_writer.hpp"
 #include "mmtag/runtime/sweep_runner.hpp"
 #include "mmtag/runtime/thread_pool.hpp"
@@ -37,6 +41,67 @@ void reject_leftovers(const option_set& options)
     }
 }
 
+/// --metrics[=FILE] / --trace=FILE shared by the Monte-Carlo commands.
+struct obs_options {
+    bool metrics = false;
+    std::string metrics_path; ///< empty: embed/print only, no standalone file
+    std::string trace_path;   ///< empty: tracing off
+};
+
+obs_options parse_obs_options(const option_set& options)
+{
+    obs_options out;
+    if (options.has("metrics")) {
+        out.metrics = true;
+        const std::string value = options.get_string("metrics", "");
+        // A bare `--metrics` parses as the flag value "true": collect and
+        // embed/print, but write no standalone file.
+        if (value != "true") out.metrics_path = value;
+    }
+    out.trace_path = options.get_string("trace", "");
+    return out;
+}
+
+/// Starts a trace session scoped to the command when a path was given;
+/// stops and writes on destruction.
+class trace_session {
+public:
+    explicit trace_session(std::string path) : path_(std::move(path))
+    {
+        if (!path_.empty()) obs::tracer::start();
+    }
+    ~trace_session()
+    {
+        if (path_.empty()) return;
+        obs::tracer::stop();
+        if (obs::tracer::write(path_)) {
+            std::printf("wrote %s\n", path_.c_str());
+        } else {
+            std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+        }
+    }
+
+    trace_session(const trace_session&) = delete;
+    trace_session& operator=(const trace_session&) = delete;
+
+private:
+    std::string path_;
+};
+
+void write_text_file(const std::string& path, const std::string& text)
+{
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return;
+    }
+    out << text << '\n';
+    std::printf("wrote %s\n", path.c_str());
+}
+
 } // namespace
 
 int run_link(const option_set& options)
@@ -56,15 +121,15 @@ int run_link(const option_set& options)
         cfg.modulator.frame.fec = parse_fec(options.get_string("fec", ""));
     }
     cfg.receiver.frame = cfg.modulator.frame;
-    cfg.seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+    cfg.seed = options.get_uint("seed", 1);
     cfg.rician_k_db = options.get_double("k-factor", 100.0);
     const std::string reflector = options.get_string("reflector", "van-atta");
     if (reflector == "plate") cfg.reflector = core::reflector_kind::flat_plate;
     else if (reflector != "van-atta") {
         throw std::invalid_argument("--reflector must be van-atta or plate");
     }
-    const auto frames = static_cast<std::size_t>(options.get_int("frames", 10));
-    const auto payload = static_cast<std::size_t>(options.get_int("payload", 32));
+    const auto frames = static_cast<std::size_t>(options.get_uint("frames", 10));
+    const auto payload = static_cast<std::size_t>(options.get_uint("payload", 32));
     reject_leftovers(options);
 
     core::link_simulator sim(cfg);
@@ -87,11 +152,11 @@ int run_budget(const option_set& options)
 {
     auto cfg = cli_scenario();
     cfg.transmitter.tx_power_dbm = options.get_double("tx-power", 27.0);
-    const auto elements = static_cast<std::size_t>(options.get_int("elements", 8));
+    const auto elements = static_cast<std::size_t>(options.get_uint("elements", 8));
     cfg.van_atta.element_count = elements;
     const double start = options.get_double("start", 0.5);
     const double stop = options.get_double("stop", 10.0);
-    const auto points = static_cast<std::size_t>(options.get_int("points", 8));
+    const auto points = static_cast<std::size_t>(options.get_uint("points", 8));
     reject_leftovers(options);
 
     const core::link_budget budget(cfg);
@@ -112,10 +177,10 @@ int run_budget(const option_set& options)
 
 int run_network(const option_set& options)
 {
-    const auto tag_count = static_cast<std::size_t>(options.get_int("tags", 20));
+    const auto tag_count = static_cast<std::size_t>(options.get_uint("tags", 20));
     const double max_range = options.get_double("max-range", 8.0);
-    const auto payload = static_cast<std::size_t>(options.get_int("payload", 256));
-    const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+    const auto payload = static_cast<std::size_t>(options.get_uint("payload", 256));
+    const std::uint64_t seed = options.get_uint("seed", 1);
     reject_leftovers(options);
     if (tag_count == 0) throw std::invalid_argument("--tags must be >= 1");
 
@@ -141,8 +206,8 @@ int run_network(const option_set& options)
 
 int run_inventory(const option_set& options)
 {
-    const auto tag_count = static_cast<std::size_t>(options.get_int("tags", 50));
-    const auto seeds = static_cast<std::size_t>(options.get_int("seeds", 10));
+    const auto tag_count = static_cast<std::size_t>(options.get_uint("tags", 50));
+    const auto seeds = static_cast<std::size_t>(options.get_uint("seeds", 10));
     const double success = options.get_double("success", 0.98);
     reject_leftovers(options);
     if (seeds == 0) throw std::invalid_argument("--seeds must be >= 1");
@@ -200,13 +265,14 @@ int run_faults(const option_set& options)
 {
     const double fault_rate = options.get_double("fault-rate", 150.0);
     const double mean_duration_ms = options.get_double("mean-duration", 2.0);
-    const auto frames = static_cast<std::size_t>(options.get_int("frames", 300));
-    const auto payload = static_cast<std::size_t>(options.get_int("payload", 24));
+    const auto frames = static_cast<std::size_t>(options.get_uint("frames", 300));
+    const auto payload = static_cast<std::size_t>(options.get_uint("payload", 24));
     const double distance = options.get_double("distance", 4.0);
-    const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 11));
-    const auto fault_seed = static_cast<std::uint64_t>(options.get_int("fault-seed", 42));
-    const auto trials = static_cast<std::size_t>(options.get_int("trials", 1));
-    const auto jobs = static_cast<std::size_t>(options.get_int("jobs", 1));
+    const std::uint64_t seed = options.get_uint("seed", 11);
+    const std::uint64_t fault_seed = options.get_uint("fault-seed", 42);
+    const auto trials = static_cast<std::size_t>(options.get_uint("trials", 1));
+    const auto jobs = static_cast<std::size_t>(options.get_uint("jobs", 1));
+    const obs_options obs_opts = parse_obs_options(options);
     reject_leftovers(options);
     if (fault_rate < 0.0) throw std::invalid_argument("--fault-rate must be >= 0");
     if (mean_duration_ms <= 0.0) {
@@ -246,6 +312,10 @@ int run_faults(const option_set& options)
     const ap::supervisor_config sup_cfg{};
     std::vector<ap::supervised_report> sup_trials(trials);
     std::vector<ap::supervised_report> base_trials(trials);
+    // One registry per task, merged in task order after the barrier, so the
+    // observability aggregates are --jobs-invariant like everything else.
+    std::vector<obs::metrics_registry> task_metrics(obs_opts.metrics ? 2 * trials : 0);
+    const trace_session trace(obs_opts.trace_path);
     const auto start = std::chrono::steady_clock::now();
     runtime::thread_pool pool(jobs);
     pool.parallel_for(2 * trials, [&](std::size_t task) {
@@ -255,9 +325,17 @@ int run_faults(const option_set& options)
         core::link_simulator link(cfg);
         fault::fault_injector faults{trial_schedule};
         fault::fault_injector* injector = fault_rate > 0.0 ? &faults : nullptr;
+        obs::metrics_registry* registry =
+            obs_opts.metrics ? &task_metrics[task] : nullptr;
+        if (registry != nullptr) {
+            link.attach_metrics(registry);
+            if (injector != nullptr) injector->attach_metrics(registry);
+        }
         if (supervised) {
+            ap::supervisor_config task_cfg = sup_cfg;
+            task_cfg.metrics = registry;
             sup_trials[trial] =
-                core::run_supervised_link(link, injector, sup_cfg, frames, payload);
+                core::run_supervised_link(link, injector, task_cfg, frames, payload);
         } else {
             base_trials[trial] =
                 core::run_baseline_link(link, injector, 8, frames, payload);
@@ -290,20 +368,51 @@ int run_faults(const option_set& options)
                 sup.recovery.mean_recover_s() * 1e3, sup.recovery.recover_max_s * 1e3);
     std::printf("  runtime: %zu tasks in %.2f s wall (%zu jobs)\n", 2 * trials,
                 wall_s, pool.jobs());
+
+    if (obs_opts.metrics) {
+        obs::metrics_registry merged;
+        for (const auto& registry : task_metrics) merged.merge(registry);
+        const std::string snapshot =
+            merged.to_json_string(obs::metric_view::deterministic, 2);
+        if (obs_opts.metrics_path.empty()) {
+            std::printf("metrics:\n%s\n", snapshot.c_str());
+        } else {
+            write_text_file(obs_opts.metrics_path, snapshot);
+        }
+    }
     return sup.goodput_bps >= base.goodput_bps ? 0 : 2;
 }
+
+namespace {
+
+/// Sweep aggregate pairing the link report with the trial's observability
+/// registry, so metrics ride the same pre-allocated-slot + ordered-fold path
+/// as the report itself (and stay --jobs-invariant for free).
+struct observed_report {
+    core::link_report report;
+    obs::metrics_registry metrics;
+
+    void merge(const observed_report& other)
+    {
+        report.merge(other.report);
+        metrics.merge(other.metrics);
+    }
+};
+
+} // namespace
 
 int run_sweep(const option_set& options)
 {
     const double start_m = options.get_double("start", 1.0);
     const double stop_m = options.get_double("stop", 6.0);
-    const auto points = static_cast<std::size_t>(options.get_int("points", 6));
-    const auto trials = static_cast<std::size_t>(options.get_int("trials", 4));
-    const auto frames = static_cast<std::size_t>(options.get_int("frames", 6));
-    const auto payload = static_cast<std::size_t>(options.get_int("payload", 32));
-    const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
-    const auto jobs = static_cast<std::size_t>(options.get_int("jobs", 0));
+    const auto points = static_cast<std::size_t>(options.get_uint("points", 6));
+    const auto trials = static_cast<std::size_t>(options.get_uint("trials", 4));
+    const auto frames = static_cast<std::size_t>(options.get_uint("frames", 6));
+    const auto payload = static_cast<std::size_t>(options.get_uint("payload", 32));
+    const std::uint64_t seed = options.get_uint("seed", 1);
+    const auto jobs = static_cast<std::size_t>(options.get_uint("jobs", 0));
     const std::string json_path = options.get_string("json", "");
+    const obs_options obs_opts = parse_obs_options(options);
 
     auto cfg = cli_scenario();
     if (options.has("scheme")) {
@@ -336,21 +445,28 @@ int run_sweep(const option_set& options)
     sweep.base_seed = seed;
     sweep.trials_per_point = trials;
     sweep.progress = runtime::stderr_progress();
-    const auto out = runtime::run_sweep<core::link_report>(
+    const bool want_metrics = obs_opts.metrics;
+    const trace_session trace(obs_opts.trace_path);
+    const auto out = runtime::run_sweep<observed_report>(
         sweep, points, [&](std::size_t point, std::size_t, std::uint64_t trial_seed) {
             auto trial_cfg = cfg;
             trial_cfg.distance_m = distance_at(point);
             trial_cfg.seed = trial_seed;
             core::link_simulator sim(trial_cfg);
-            return sim.run_trials(frames, payload);
+            observed_report result;
+            if (want_metrics) sim.attach_metrics(&result.metrics);
+            result.report = sim.run_trials(frames, payload);
+            return result;
         });
 
     std::printf("%-10s %-10s %-12s %-10s %-8s %-12s\n", "range_m", "snr_dB", "ber",
                 "ber_ci95", "per", "goodput_Mbps");
     runtime::result_writer results("SWEEP", "BER/goodput vs distance (CLI sweep)",
                                    {"distance_m"}, seed);
+    obs::metrics_registry sweep_metrics;
     for (std::size_t point = 0; point < points; ++point) {
-        const auto& report = out.points[point].aggregate;
+        const auto& report = out.points[point].aggregate.report;
+        if (want_metrics) sweep_metrics.merge(out.points[point].aggregate.metrics);
         std::printf("%-10.2f %-10.1f %-12.2e %-10.2e %-8.3f %-12.3f\n",
                     distance_at(point), report.mean_snr_db, report.ber,
                     report.ber_confidence(), report.per, report.goodput_bps / 1e6);
@@ -358,6 +474,17 @@ int run_sweep(const option_set& options)
         axis.set("distance_m", runtime::json_value::number(distance_at(point)));
         results.add_point(std::move(axis), trials,
                           runtime::result_writer::metrics(report));
+    }
+    if (want_metrics) {
+        // Deterministic view into the result document (schema /2); the
+        // wall-clock timer histograms go to the run section instead.
+        results.set_metrics(sweep_metrics.to_json(obs::metric_view::deterministic));
+        results.set_run_profile(sweep_metrics.to_json(obs::metric_view::timing));
+        if (!obs_opts.metrics_path.empty()) {
+            write_text_file(
+                obs_opts.metrics_path,
+                sweep_metrics.to_json_string(obs::metric_view::deterministic, 2));
+        }
     }
 
     std::printf("%s\n",
@@ -389,10 +516,14 @@ const char* usage()
            "             --fault-rate HZ --mean-duration MS --frames N\n"
            "             --payload BYTES --distance M --seed S --fault-seed S\n"
            "             --trials N --jobs N (0 = auto)\n"
+           "             --metrics[=FILE] --trace FILE\n"
            "  sweep      parallel BER/goodput vs distance Monte-Carlo sweep\n"
            "             --start M --stop M --points N --trials N --frames N\n"
            "             --payload BYTES --scheme MOD --fec MODE --seed S\n"
            "             --jobs N (0 = auto) --json PATH\n"
+           "             --metrics[=FILE] (observability counters/histograms;\n"
+           "             embedded in --json output, schema result/2)\n"
+           "             --trace FILE (Chrome trace_event JSON)\n"
            "  help       this text\n";
 }
 

@@ -74,6 +74,29 @@ std::int64_t option_set::get_int(const std::string& key, std::int64_t fallback) 
     }
 }
 
+std::uint64_t option_set::get_uint(const std::string& key, std::uint64_t fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    consumed_[key] = true;
+    const std::string& text = it->second;
+    // std::stoull accepts "-1" (wrapping to 18446744073709551615) and
+    // "1e3" parses as 1 with trailing junk — both must be hard errors here.
+    const bool all_digits =
+        !text.empty() && text.find_first_not_of("0123456789") == std::string::npos;
+    if (all_digits) {
+        try {
+            std::size_t used = 0;
+            const unsigned long long value = std::stoull(text, &used);
+            if (used == text.size()) return value;
+        } catch (const std::exception&) {
+            // out of range: fall through to the uniform message
+        }
+    }
+    throw std::invalid_argument("--" + key + " expects a non-negative integer, got '" +
+                                text + "'");
+}
+
 std::string option_set::get_string(const std::string& key, const std::string& fallback) const
 {
     const auto it = values_.find(key);

@@ -31,6 +31,12 @@ public:
     /// std::invalid_argument when present but unparseable/out of range.
     [[nodiscard]] double get_double(const std::string& key, double fallback) const;
     [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+    /// Strict non-negative integer: rejects a leading sign (stoull would
+    /// silently wrap "-1" to 2^64-1), scientific notation ("1e3"), trailing
+    /// junk, and overflow — the counts (--jobs, --trials, --seed) where a
+    /// wrapped or truncated value would silently run the wrong experiment.
+    [[nodiscard]] std::uint64_t get_uint(const std::string& key,
+                                         std::uint64_t fallback) const;
     [[nodiscard]] std::string get_string(const std::string& key,
                                          const std::string& fallback) const;
     [[nodiscard]] bool get_flag(const std::string& key) const;

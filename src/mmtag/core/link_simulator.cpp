@@ -1,10 +1,14 @@
 #include "mmtag/core/link_simulator.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "mmtag/dsp/estimators.hpp"
 #include "mmtag/fault/fault_injector.hpp"
+#include "mmtag/obs/metrics_registry.hpp"
+#include "mmtag/obs/scoped_timer.hpp"
+#include "mmtag/obs/trace.hpp"
 #include "mmtag/phy/bitio.hpp"
 
 namespace mmtag::core {
@@ -24,6 +28,8 @@ link_simulator::link_simulator(const system_config& cfg)
 
 link_simulator::frame_result link_simulator::run_frame(std::span<const std::uint8_t> payload)
 {
+    MMTAG_SCOPED_TIMER(metrics_, "time/link_frame");
+    const obs::trace_span span("link.frame", "link");
     ++trial_;
     frame_result result;
     if (cfg_.rician_k_db < 80.0) {
@@ -118,6 +124,31 @@ link_simulator::frame_result link_simulator::run_frame(std::span<const std::uint
         result.bit_errors += (payload.size() - compare) * 4;
     } else {
         result.bit_errors = payload.size() * 4; // lost frame: coin-flip bits
+    }
+
+    if (metrics_ != nullptr) {
+        metrics_->get_counter("link/frames").add();
+        if (result.delivered) metrics_->get_counter("link/frames_delivered").add();
+        if (!result.rx.frame_found) metrics_->get_counter("link/frames_lost").add();
+        if (result.fault_active) metrics_->get_counter("link/fault_windows").add();
+        metrics_->get_counter("link/bits").add(result.bits);
+        metrics_->get_counter("link/bit_errors").add(result.bit_errors);
+        metrics_->get_histogram("link/suppression_db", obs::suppression_bounds_db())
+            .observe(result.rx.suppression_db);
+        if (result.rx.frame_found) {
+            metrics_->get_histogram("link/snr_db", obs::snr_bounds_db())
+                .observe(result.rx.snr_db);
+        }
+    }
+    if (obs::tracer::active()) {
+        // Canceller convergence milestone: the residual/input power the
+        // self-interference canceller settled at for this capture window.
+        char args[96];
+        std::snprintf(args, sizeof args,
+                      "{\"suppression_db\": %.2f, \"found\": %s}",
+                      result.rx.suppression_db,
+                      result.rx.frame_found ? "true" : "false");
+        obs::trace_instant("canceller.converged", "link", args);
     }
     return result;
 }

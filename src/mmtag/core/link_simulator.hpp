@@ -14,6 +14,10 @@ namespace mmtag::fault {
 class fault_injector;
 }
 
+namespace mmtag::obs {
+class metrics_registry;
+}
+
 namespace mmtag::core {
 
 class link_simulator {
@@ -25,6 +29,12 @@ public:
     /// Attaches a fault injector consulted once per frame window (nullptr
     /// detaches). The injector is not owned and must outlive the simulator.
     void attach_fault_injector(fault::fault_injector* injector) { faults_ = injector; }
+
+    /// Attaches an observability registry fed once per frame (frame/SNR/
+    /// suppression counters and histograms, scoped timers). nullptr detaches;
+    /// not owned, must outlive the simulator. With no registry attached the
+    /// per-frame cost is a null check.
+    void attach_metrics(obs::metrics_registry* metrics) { metrics_ = metrics; }
 
     /// Simulated link time: the sum of all capture windows plus any idle
     /// time advanced explicitly (supervisor backoff, reacquisition).
@@ -67,6 +77,7 @@ private:
     ap::ap_transmitter transmitter_;
     ap::ap_receiver receiver_;
     fault::fault_injector* faults_ = nullptr;
+    obs::metrics_registry* metrics_ = nullptr;
     double clock_s_ = 0.0;
     std::uint64_t trial_ = 0;
 };

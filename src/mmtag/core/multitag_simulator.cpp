@@ -5,6 +5,9 @@
 #include <stdexcept>
 
 #include "mmtag/fault/fault_injector.hpp"
+#include "mmtag/obs/metrics_registry.hpp"
+#include "mmtag/obs/scoped_timer.hpp"
+#include "mmtag/obs/trace.hpp"
 
 namespace mmtag::core {
 
@@ -51,6 +54,8 @@ double multitag_simulator::burst_duration_s(std::size_t payload_bytes) const
 
 std::vector<burst_outcome> multitag_simulator::run(const std::vector<tag_burst>& bursts)
 {
+    MMTAG_SCOPED_TIMER(metrics_, "time/multitag_capture");
+    const obs::trace_span span("multitag.capture", "multitag");
     ++runs_;
     for (const auto& burst : bursts) {
         if (burst.tag_index >= channels_.size()) {
@@ -168,6 +173,22 @@ std::vector<burst_outcome> multitag_simulator::run(const std::vector<tag_burst>&
             rx.frame_found && rx.crc_ok && rx.payload == bursts[b].payload;
     }
     clock_s_ += window_s;
+
+    if (metrics_ != nullptr) {
+        metrics_->get_counter("multitag/captures").add();
+        metrics_->get_counter("multitag/bursts").add(bursts.size());
+        for (const auto& outcome : outcomes) {
+            if (outcome.delivered) {
+                metrics_->get_counter("multitag/bursts_delivered").add();
+            } else if (!outcome.frame_found) {
+                metrics_->get_counter("multitag/bursts_lost").add();
+            }
+            if (outcome.frame_found) {
+                metrics_->get_histogram("multitag/snr_db", obs::snr_bounds_db())
+                    .observe(outcome.snr_db);
+            }
+        }
+    }
     return outcomes;
 }
 

@@ -18,6 +18,10 @@ namespace mmtag::fault {
 class fault_injector;
 }
 
+namespace mmtag::obs {
+class metrics_registry;
+}
+
 namespace mmtag::core {
 
 /// One tag's transmission in the shared capture window.
@@ -44,6 +48,11 @@ public:
     /// carrier dropout, LO step, interferer) and once per burst (per-tag
     /// faults: blockage, brownout). Not owned; nullptr detaches.
     void attach_fault_injector(fault::fault_injector* injector) { faults_ = injector; }
+
+    /// Attaches an observability registry fed once per capture and per burst
+    /// (capture/burst counters, per-burst SNR histogram, scoped timers).
+    /// Not owned; nullptr detaches.
+    void attach_metrics(obs::metrics_registry* metrics) { metrics_ = metrics; }
 
     /// Simulated time: the sum of all capture windows run so far.
     [[nodiscard]] double clock_s() const { return clock_s_; }
@@ -72,6 +81,7 @@ private:
     tag::backscatter_modulator modulator_;
     ap::ap_transmitter transmitter_;
     fault::fault_injector* faults_ = nullptr;
+    obs::metrics_registry* metrics_ = nullptr;
     double clock_s_ = 0.0;
     std::uint64_t runs_ = 0;
 };

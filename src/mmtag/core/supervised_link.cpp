@@ -3,6 +3,7 @@
 #include <limits>
 #include <vector>
 
+#include "mmtag/fault/fault_injector.hpp"
 #include "mmtag/phy/bitio.hpp"
 
 namespace mmtag::core {
@@ -28,6 +29,13 @@ ap::supervised_report run(link_simulator& link, fault::fault_injector* faults,
                           std::size_t payload_bytes)
 {
     link.attach_fault_injector(faults);
+    // One registry observes the whole supervised session: the supervisor
+    // feeds it through cfg.metrics, so route the link and injector there
+    // too. A null cfg.metrics leaves any registry the caller attached alone.
+    if (cfg.metrics != nullptr) {
+        link.attach_metrics(cfg.metrics);
+        if (faults != nullptr) faults->attach_metrics(cfg.metrics);
+    }
 
     std::vector<std::uint8_t> payload;
     ap::link_driver driver;

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <utility>
+
+#include "mmtag/obs/metrics_registry.hpp"
+#include "mmtag/obs/trace.hpp"
 
 namespace mmtag::fault {
 
@@ -45,10 +50,26 @@ impairment fault_injector::at(double start_s, double duration_s) const
         case fault_kind::lo_step:
             break; // persistent: handled below from the full history
         }
+        if (metrics_ != nullptr) {
+            metrics_
+                ->get_counter(std::string("fault/") + fault_kind_name(event.kind))
+                .add();
+        }
     }
     if (blockage_db > 0.0) out.tag_amplitude = db_to_amplitude(-blockage_db);
     if (dropout_db > 0.0) out.carrier_amplitude = db_to_amplitude(-dropout_db);
     out.lo_offset_hz = lo_offset_hz(start_s + duration_s);
+
+    if (out.any()) {
+        if (metrics_ != nullptr) metrics_->get_counter("fault/impaired_windows").add();
+        if (obs::tracer::active()) {
+            char args[96];
+            std::snprintf(args, sizeof args,
+                          "{\"start_s\": %.6f, \"duration_s\": %.6f}", start_s,
+                          duration_s);
+            obs::trace_instant("fault.window", "fault", args);
+        }
+    }
     return out;
 }
 
@@ -69,6 +90,12 @@ double fault_injector::lo_offset_hz(double time_s) const
 void fault_injector::clear_lo_steps(double time_s)
 {
     lo_cleared_until_s_ = std::max(lo_cleared_until_s_, time_s);
+    if (metrics_ != nullptr) metrics_->get_counter("fault/lo_relocks").add();
+    if (obs::tracer::active()) {
+        char args[48];
+        std::snprintf(args, sizeof args, "{\"time_s\": %.6f}", time_s);
+        obs::trace_instant("fault.lo_relock", "fault", args);
+    }
 }
 
 } // namespace mmtag::fault

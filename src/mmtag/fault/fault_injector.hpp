@@ -11,6 +11,10 @@
 
 #include "mmtag/fault/fault_schedule.hpp"
 
+namespace mmtag::obs {
+class metrics_registry;
+}
+
 namespace mmtag::fault {
 
 /// Aggregate impairment over one frame/burst window. Amplitude factors are
@@ -34,6 +38,12 @@ public:
 
     [[nodiscard]] const fault_schedule& schedule() const { return schedule_; }
 
+    /// Attaches an observability registry: each at() query that sees an
+    /// impairment bumps a per-kind "fault/..." counter (and emits a
+    /// fault.window trace instant when a trace session is active). Not
+    /// owned; nullptr detaches.
+    void attach_metrics(obs::metrics_registry* metrics) { metrics_ = metrics; }
+
     /// Impairment seen by a frame occupying [start_s, start_s + duration_s).
     [[nodiscard]] impairment at(double start_s, double duration_s) const;
 
@@ -46,6 +56,7 @@ public:
 
 private:
     fault_schedule schedule_;
+    obs::metrics_registry* metrics_ = nullptr; ///< observer only, never read
     double lo_cleared_until_s_ = 0.0;
 };
 

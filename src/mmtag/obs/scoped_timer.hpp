@@ -1,0 +1,58 @@
+// RAII profiling hooks. MMTAG_SCOPED_TIMER(registry, "time/name") times the
+// enclosing scope into a wall-time histogram of `registry`; a nullptr
+// registry skips even the clock read, and building with
+// -DMMTAG_OBS_ENABLED=0 compiles the macro away entirely.
+//
+// Timer metrics must use "time/..." names: the deterministic metric view
+// (what the result writer embeds per sweep) excludes that prefix, because
+// wall times are not --jobs-invariant.
+#pragma once
+
+#include <chrono>
+
+#include "mmtag/obs/metrics_registry.hpp"
+
+#ifndef MMTAG_OBS_ENABLED
+#define MMTAG_OBS_ENABLED 1
+#endif
+
+namespace mmtag::obs {
+
+class scoped_timer {
+public:
+    scoped_timer(metrics_registry* registry, const char* name)
+        : registry_(registry), name_(name)
+    {
+        if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+
+    ~scoped_timer()
+    {
+        if (registry_ == nullptr) return;
+        const double elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+                .count();
+        registry_->get_histogram(name_, time_bounds_s()).observe(elapsed_s);
+    }
+
+    scoped_timer(const scoped_timer&) = delete;
+    scoped_timer& operator=(const scoped_timer&) = delete;
+
+private:
+    metrics_registry* registry_;
+    const char* name_;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+} // namespace mmtag::obs
+
+#define MMTAG_OBS_CONCAT_IMPL(a, b) a##b
+#define MMTAG_OBS_CONCAT(a, b) MMTAG_OBS_CONCAT_IMPL(a, b)
+
+#if MMTAG_OBS_ENABLED
+#define MMTAG_SCOPED_TIMER(registry, name)                                       \
+    ::mmtag::obs::scoped_timer MMTAG_OBS_CONCAT(mmtag_scoped_timer_, __LINE__)( \
+        (registry), (name))
+#else
+#define MMTAG_SCOPED_TIMER(registry, name) static_cast<void>(0)
+#endif

@@ -220,29 +220,43 @@ void result_writer::add_point(json_value axis, std::size_t trials, json_value me
     points_.push_back(std::move(point));
 }
 
+namespace {
+
+// A ratio metric is meaningless without observations: "BER over zero bits"
+// is not 0.0 (that would claim an error-free link), it is absent. Emit JSON
+// null so downstream tooling can tell "measured clean" from "never measured"
+// — and so non-finite doubles can never leak into the file as bare nan/inf.
+json_value ratio_or_null(double value, std::uint64_t observations)
+{
+    if (observations == 0 || !std::isfinite(value)) return json_value::null();
+    return json_value::number(value);
+}
+
+} // namespace
+
 json_value result_writer::metrics(const core::error_counter& errors)
 {
     auto m = json_value::object();
     m.set("bits", json_value::unsigned_integer(errors.bits()));
     m.set("bit_errors", json_value::unsigned_integer(errors.bit_errors()));
-    m.set("ber", json_value::number(errors.ber()));
-    m.set("ber_ci95", json_value::number(errors.ber_confidence()));
+    m.set("ber", ratio_or_null(errors.ber(), errors.bits()));
+    m.set("ber_ci95", ratio_or_null(errors.ber_confidence(), errors.bits()));
     m.set("frames", json_value::unsigned_integer(errors.frames()));
     m.set("frames_delivered", json_value::unsigned_integer(errors.frames_delivered()));
-    m.set("per", json_value::number(errors.per()));
+    m.set("per", ratio_or_null(errors.per(), errors.frames()));
     return m;
 }
 
 json_value result_writer::metrics(const core::link_report& report)
 {
     auto m = json_value::object();
-    m.set("ber", json_value::number(report.ber));
-    m.set("ber_ci95", json_value::number(report.ber_confidence()));
-    m.set("per", json_value::number(report.per));
-    m.set("mean_snr_db", json_value::number(report.mean_snr_db));
-    m.set("mean_evm_db", json_value::number(report.mean_evm_db));
-    m.set("goodput_bps", json_value::number(report.goodput_bps));
-    m.set("tag_energy_per_bit_j", json_value::number(report.tag_energy_per_bit_j));
+    m.set("ber", ratio_or_null(report.ber, report.bits));
+    m.set("ber_ci95", ratio_or_null(report.ber_confidence(), report.bits));
+    m.set("per", ratio_or_null(report.per, report.frames));
+    m.set("mean_snr_db", ratio_or_null(report.mean_snr_db, report.snr_samples));
+    m.set("mean_evm_db", ratio_or_null(report.mean_evm_db, report.evm_samples));
+    m.set("goodput_bps", ratio_or_null(report.goodput_bps, report.frames_delivered));
+    m.set("tag_energy_per_bit_j", ratio_or_null(report.tag_energy_per_bit_j, report.bits));
     m.set("frames", json_value::unsigned_integer(report.frames));
     m.set("frames_delivered", json_value::unsigned_integer(report.frames_delivered));
     m.set("bits", json_value::unsigned_integer(report.bits));
@@ -250,15 +264,37 @@ json_value result_writer::metrics(const core::link_report& report)
     return m;
 }
 
+void result_writer::set_metrics(json_value metrics)
+{
+    if (!metrics.is_object()) {
+        throw std::invalid_argument("result_writer: metrics snapshot not an object");
+    }
+    has_metrics_ = true;
+    metrics_ = std::move(metrics);
+}
+
+void result_writer::set_run_profile(json_value profile)
+{
+    if (!profile.is_object()) {
+        throw std::invalid_argument("result_writer: run profile not an object");
+    }
+    has_profile_ = true;
+    profile_ = std::move(profile);
+}
+
 namespace {
 
 json_value aggregates_value(const std::string& id, const std::string& title,
                             const std::vector<std::string>& axes,
                             std::uint64_t base_seed,
-                            const std::vector<json_value>& points)
+                            const std::vector<json_value>& points,
+                            const json_value* metrics)
 {
     auto doc = json_value::object();
-    doc.set("schema", json_value::string("mmtag.bench.result/1"));
+    // Schema /2 only when an observability snapshot rides along, so existing
+    // consumers of /1 output see byte-identical files when metrics are off.
+    doc.set("schema", json_value::string(metrics != nullptr ? "mmtag.bench.result/2"
+                                                            : "mmtag.bench.result/1"));
     doc.set("id", json_value::string(id));
     doc.set("title", json_value::string(title));
     doc.set("base_seed", json_value::unsigned_integer(base_seed));
@@ -268,6 +304,7 @@ json_value aggregates_value(const std::string& id, const std::string& title,
     auto point_list = json_value::array();
     for (const auto& point : points) point_list.push(point);
     doc.set("points", std::move(point_list));
+    if (metrics != nullptr) doc.set("metrics", *metrics);
     return doc;
 }
 
@@ -275,18 +312,22 @@ json_value aggregates_value(const std::string& id, const std::string& title,
 
 std::string result_writer::aggregates_json() const
 {
-    return aggregates_value(id_, title_, axes_, base_seed_, points_).dump(2);
+    return aggregates_value(id_, title_, axes_, base_seed_, points_,
+                            has_metrics_ ? &metrics_ : nullptr)
+        .dump(2);
 }
 
 std::string result_writer::document(double wall_s, std::size_t jobs,
                                     double trials_per_s) const
 {
-    auto doc = aggregates_value(id_, title_, axes_, base_seed_, points_);
+    auto doc = aggregates_value(id_, title_, axes_, base_seed_, points_,
+                                has_metrics_ ? &metrics_ : nullptr);
     auto run = json_value::object();
     run.set("jobs", json_value::unsigned_integer(jobs));
     run.set("wall_s", json_value::number(wall_s));
     run.set("trials_per_s", json_value::number(trials_per_s));
     run.set("git", json_value::string(git_describe()));
+    if (has_profile_) run.set("profile", profile_);
     doc.set("run", std::move(run));
     return doc.dump(2);
 }

@@ -18,6 +18,17 @@
 // deterministic half the jobs-invariance regression test compares
 // byte-for-byte (aggregates_json()). "run" carries the timing/provenance
 // that legitimately varies between machines and runs.
+//
+// Schema "mmtag.bench.result/2" is /1 plus observability, and is emitted
+// only when set_metrics() was called (v1 output is byte-unchanged when
+// metrics are off):
+//   * a top-level "metrics" section after "points" — the sweep-wide merged
+//     obs::metrics_registry snapshot (deterministic view, --jobs-invariant);
+//   * optionally "run.profile" — wall-time histograms from scoped timers
+//     (set_run_profile), which live in "run" because they legitimately vary.
+// Ratio metrics with zero observations (BER with no bits, PER with no
+// frames, mean SNR with no found frames, ...) serialize as null, never as
+// bare nan/inf.
 #pragma once
 
 #include <cstdint>
@@ -84,9 +95,20 @@ public:
     /// the declared axes; `metrics` is an object of aggregate values.
     void add_point(json_value axis, std::size_t trials, json_value metrics);
 
-    /// Ready-made metrics objects for the standard aggregates.
+    /// Ready-made metrics objects for the standard aggregates. Ratios whose
+    /// denominator has zero observations are emitted as JSON null.
     [[nodiscard]] static json_value metrics(const core::error_counter& errors);
     [[nodiscard]] static json_value metrics(const core::link_report& report);
+
+    /// Attaches a sweep-wide observability snapshot (an
+    /// obs::metrics_registry::to_json(deterministic) object). Switches the
+    /// document to schema mmtag.bench.result/2; the snapshot is part of the
+    /// deterministic half (aggregates_json()).
+    void set_metrics(json_value metrics);
+
+    /// Attaches wall-time profiling data to the "run" section (schema /2
+    /// only; ignored by aggregates_json()).
+    void set_run_profile(json_value profile);
 
     /// The deterministic half of the document (schema/id/title/axes/points).
     [[nodiscard]] std::string aggregates_json() const;
@@ -107,6 +129,10 @@ private:
     std::vector<std::string> axes_;
     std::uint64_t base_seed_;
     std::vector<json_value> points_;
+    bool has_metrics_ = false;
+    json_value metrics_;
+    bool has_profile_ = false;
+    json_value profile_;
 };
 
 /// bench/out/BENCH_<id>.json relative to the current working directory.

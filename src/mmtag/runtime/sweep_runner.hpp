@@ -19,11 +19,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "mmtag/obs/trace.hpp"
 #include "mmtag/runtime/thread_pool.hpp"
 #include "mmtag/runtime/trial_rng.hpp"
 
@@ -61,8 +63,15 @@ struct sweep_outcome {
 [[nodiscard]] std::string summary_line(std::size_t points, std::size_t trials,
                                        double wall_s, std::size_t jobs);
 
-/// A ready-made thread-safe progress callback that rewrites one stderr line
-/// ("sweep: 42/96 trials"); prints nothing when stderr is not a terminal.
+/// A ready-made thread-safe progress callback writing to `stream`. In tty
+/// mode it rewrites one line ("sweep: 42/96 trials") and terminates it with
+/// a newline on completion; otherwise it prints one plain newline-terminated
+/// line per completed decile, so CI logs and trace files never see '\r'
+/// frames.
+[[nodiscard]] std::function<void(std::size_t, std::size_t)>
+progress_printer(std::FILE* stream, bool tty);
+
+/// progress_printer on stderr, tty-detected via isatty.
 [[nodiscard]] std::function<void(std::size_t, std::size_t)> stderr_progress();
 
 /// Runs trial(point, trial_index, seed) for every point in [0, point_count)
@@ -87,11 +96,18 @@ sweep_outcome<Aggregate> run_sweep(const sweep_options& options, std::size_t poi
     pool.parallel_for(total, [&](std::size_t index) {
         const std::size_t point = index / trials;
         const std::size_t t = index % trials;
+        const double trace_start_us = obs::tracer::active() ? obs::tracer::now_us() : -1.0;
         const auto trial_start = std::chrono::steady_clock::now();
         slots[index] = trial(point, t, trial_seed(options.base_seed, point, t));
         slot_s[index] =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - trial_start)
                 .count();
+        if (trace_start_us >= 0.0) {
+            char args[64];
+            std::snprintf(args, sizeof args, "{\"point\": %zu, \"trial\": %zu}", point, t);
+            obs::trace_emit("sweep.trial", "sweep", 'X', trace_start_us,
+                            slot_s[index] * 1e6, args);
+        }
         if (options.progress) {
             const std::size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
             options.progress(done, total);
@@ -103,6 +119,12 @@ sweep_outcome<Aggregate> run_sweep(const sweep_options& options, std::size_t poi
     outcome.trials = total;
     outcome.points.resize(point_count);
     for (std::size_t point = 0; point < point_count; ++point) {
+        if (obs::tracer::active()) {
+            char args[48];
+            std::snprintf(args, sizeof args, "{\"point\": %zu, \"trials\": %zu}", point,
+                          trials);
+            obs::trace_instant("sweep.point", "sweep", args);
+        }
         auto& slot = outcome.points[point];
         slot.aggregate = std::move(slots[point * trials]);
         slot.busy_s = slot_s[point * trials];

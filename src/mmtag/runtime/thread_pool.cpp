@@ -1,6 +1,9 @@
 #include "mmtag/runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "mmtag/obs/trace.hpp"
 
 namespace mmtag::runtime {
 
@@ -61,6 +64,7 @@ void thread_pool::worker_loop()
             work = current_;
         }
         run_shards(*work);
+        if (obs::tracer::active()) obs::tracer::flush_current_thread();
         {
             const std::lock_guard<std::mutex> lock(mutex_);
             ++work->finished_workers;
@@ -73,8 +77,22 @@ void thread_pool::parallel_for(std::size_t count,
                                const std::function<void(std::size_t)>& body)
 {
     if (count == 0) return;
+    // The documented "not reentrant" contract, enforced: a nested call from
+    // a worker body would wait forever for its own batch to finish, so fail
+    // fast instead. The flag is cleared by the owning (outermost) call only.
+    if (busy_.exchange(true, std::memory_order_acquire)) {
+        throw std::logic_error(
+            "thread_pool::parallel_for is not reentrant: a batch is already "
+            "running on this pool");
+    }
+    struct busy_guard {
+        std::atomic<bool>& flag;
+        ~busy_guard() { flag.store(false, std::memory_order_release); }
+    } guard{busy_};
+
     if (workers_.empty()) {
         for (std::size_t i = 0; i < count; ++i) body(i);
+        if (obs::tracer::active()) obs::tracer::flush_current_thread();
         return;
     }
 
@@ -95,6 +113,7 @@ void thread_pool::parallel_for(std::size_t count,
     wake_.notify_all();
 
     run_shards(work); // the caller is an executor too
+    if (obs::tracer::active()) obs::tracer::flush_current_thread();
 
     {
         std::unique_lock<std::mutex> lock(mutex_);

@@ -42,7 +42,10 @@ public:
     /// Runs body(i) for every i in [0, count), sharded across the pool.
     /// Blocks until every index has run. The first exception thrown by any
     /// body is rethrown here (remaining shards are skipped, already-claimed
-    /// ones finish). Not reentrant: one parallel_for at a time per pool.
+    /// ones finish). Not reentrant: one parallel_for at a time per pool —
+    /// a nested call (from a worker body or another thread) throws
+    /// std::logic_error instead of deadlocking. When a trace session is
+    /// active, every executor drains its trace ring at batch end.
     void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
 private:
@@ -62,6 +65,7 @@ private:
     void run_shards(batch& work);
 
     std::vector<std::thread> workers_;
+    std::atomic<bool> busy_{false}; ///< reentrancy guard for parallel_for
     std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable done_;

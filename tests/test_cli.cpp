@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "mmtag/cli/commands.hpp"
 #include "mmtag/cli/options.hpp"
+
+#include "json_checker.hpp"
 
 namespace mmtag::cli {
 namespace {
@@ -142,6 +149,122 @@ TEST(commands, faults_multi_trial_runs)
                           "--jobs", "2"};
     const int code = dispatch(8, argv);
     EXPECT_TRUE(code == 0 || code == 2) << code;
+}
+
+TEST(options, get_uint_strict_parsing)
+{
+    const auto good = parse({"sweep", "--trials", "250", "--jobs=0"});
+    EXPECT_EQ(good.get_uint("trials", 1), 250u);
+    EXPECT_EQ(good.get_uint("jobs", 4), 0u);
+    EXPECT_EQ(good.get_uint("absent", 7), 7u);
+
+    // Values stoull would silently accept as the wrong number.
+    const auto bad = parse({"sweep", "--jobs=-1", "--trials=1e3", "--seed=12x",
+                            "--points=+5", "--frames="});
+    EXPECT_THROW((void)bad.get_uint("jobs", 0), std::invalid_argument);
+    EXPECT_THROW((void)bad.get_uint("trials", 0), std::invalid_argument);
+    EXPECT_THROW((void)bad.get_uint("seed", 0), std::invalid_argument);
+    EXPECT_THROW((void)bad.get_uint("points", 0), std::invalid_argument);
+    EXPECT_THROW((void)bad.get_uint("frames", 0), std::invalid_argument);
+
+    const auto overflow = parse({"sweep", "--seed=99999999999999999999999999"});
+    EXPECT_THROW((void)overflow.get_uint("seed", 0), std::invalid_argument);
+}
+
+TEST(commands, rejects_malformed_counts_with_exit_1)
+{
+    const char* neg[] = {"mmtag_sim", "sweep", "--jobs=-1"};
+    EXPECT_EQ(dispatch(3, neg), 1);
+    const char* sci[] = {"mmtag_sim", "sweep", "--trials=1e3"};
+    EXPECT_EQ(dispatch(3, sci), 1);
+    const char* junk[] = {"mmtag_sim", "faults", "--seed=12x"};
+    EXPECT_EQ(dispatch(3, junk), 1);
+    const char* frames[] = {"mmtag_sim", "link", "--frames=-5"};
+    EXPECT_EQ(dispatch(3, frames), 1);
+}
+
+TEST(commands, sweep_emits_metrics_trace_and_v2_results)
+{
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path() / "mmtag_cli_obs_test";
+    fs::create_directories(dir);
+    const std::string metrics_arg = "--metrics=" + (dir / "metrics.json").string();
+    const std::string trace_arg = "--trace=" + (dir / "trace.json").string();
+    const std::string json_arg = "--json=" + (dir / "result.json").string();
+    const char* argv[] = {"mmtag_sim", "sweep",  "--points",         "2",
+                          "--trials",  "2",      "--frames",         "1",
+                          "--jobs",    "2",      metrics_arg.c_str(), trace_arg.c_str(),
+                          json_arg.c_str()};
+    EXPECT_EQ(dispatch(13, argv), 0);
+
+    auto read_file = [](const fs::path& path) {
+        std::ifstream in(path);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    };
+
+    const auto metrics_text = read_file(dir / "metrics.json");
+    EXPECT_TRUE(testutil::json_checker(metrics_text).valid()) << metrics_text;
+    EXPECT_NE(metrics_text.find("link/frames"), std::string::npos);
+    // Standalone metrics files hold the deterministic view only.
+    EXPECT_EQ(metrics_text.find("time/"), std::string::npos);
+
+    const auto trace_text = read_file(dir / "trace.json");
+    EXPECT_TRUE(testutil::json_checker(trace_text).valid());
+    EXPECT_NE(trace_text.find("traceEvents"), std::string::npos);
+    EXPECT_NE(trace_text.find("sweep.trial"), std::string::npos);
+    EXPECT_NE(trace_text.find("link.frame"), std::string::npos);
+
+    const auto result_text = read_file(dir / "result.json");
+    EXPECT_TRUE(testutil::json_checker(result_text).valid());
+    EXPECT_NE(result_text.find("mmtag.bench.result/2"), std::string::npos);
+    EXPECT_NE(result_text.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(result_text.find("\"profile\""), std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(commands, sweep_without_metrics_keeps_v1_schema)
+{
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path() / "mmtag_cli_v1_test";
+    fs::create_directories(dir);
+    const std::string json_arg = "--json=" + (dir / "result.json").string();
+    const char* argv[] = {"mmtag_sim", "sweep", "--points", "2", "--trials", "1",
+                          "--frames", "1", json_arg.c_str()};
+    EXPECT_EQ(dispatch(9, argv), 0);
+    std::ifstream in(dir / "result.json");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto text = buffer.str();
+    EXPECT_NE(text.find("mmtag.bench.result/1"), std::string::npos);
+    // Per-point "metrics" objects are part of /1; the sweep-wide registry
+    // snapshot ("counters"/"histograms" sections) must not be.
+    EXPECT_EQ(text.find("\"counters\""), std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(commands, faults_accepts_metrics_and_trace)
+{
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path() / "mmtag_cli_faults_obs";
+    fs::create_directories(dir);
+    const std::string metrics_arg = "--metrics=" + (dir / "metrics.json").string();
+    const std::string trace_arg = "--trace=" + (dir / "trace.json").string();
+    const char* argv[] = {"mmtag_sim", "faults", "--frames", "20", "--trials", "2",
+                          "--jobs", "2", metrics_arg.c_str(), trace_arg.c_str()};
+    const int code = dispatch(10, argv);
+    EXPECT_TRUE(code == 0 || code == 2) << code;
+
+    std::ifstream in(dir / "metrics.json");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto metrics_text = buffer.str();
+    EXPECT_TRUE(testutil::json_checker(metrics_text).valid()) << metrics_text;
+    EXPECT_NE(metrics_text.find("link/frames"), std::string::npos);
+    EXPECT_NE(metrics_text.find("supervisor/"), std::string::npos);
+    EXPECT_TRUE(fs::exists(dir / "trace.json"));
+    fs::remove_all(dir);
 }
 
 TEST(commands, link_plate_at_angle_fails_gracefully)

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <cstdio>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -23,6 +24,8 @@
 #include "mmtag/runtime/sweep_runner.hpp"
 #include "mmtag/runtime/thread_pool.hpp"
 #include "mmtag/runtime/trial_rng.hpp"
+
+#include "json_checker.hpp"
 
 namespace mmtag::runtime {
 namespace {
@@ -78,6 +81,55 @@ TEST(thread_pool, propagates_first_exception)
     std::atomic<std::size_t> total{0};
     pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
     EXPECT_EQ(total.load(), 8u);
+}
+
+TEST(thread_pool, nested_parallel_for_throws_instead_of_deadlocking)
+{
+    thread_pool pool(4);
+    std::atomic<std::size_t> nested_throws{0};
+    pool.parallel_for(16, [&](std::size_t) {
+        try {
+            pool.parallel_for(2, [](std::size_t) {});
+        } catch (const std::logic_error&) {
+            nested_throws.fetch_add(1);
+        }
+    });
+    // Every body observed the guard; none deadlocked waiting on itself.
+    EXPECT_EQ(nested_throws.load(), 16u);
+    // The pool stays usable after the rejected nested calls.
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 8u);
+}
+
+TEST(thread_pool, nested_call_throws_on_inline_pool_too)
+{
+    // jobs == 1 has no worker threads, but the contract is identical.
+    thread_pool pool(1);
+    bool threw = false;
+    pool.parallel_for(4, [&](std::size_t) {
+        try {
+            pool.parallel_for(1, [](std::size_t) {});
+        } catch (const std::logic_error&) {
+            threw = true;
+        }
+    });
+    EXPECT_TRUE(threw);
+    std::size_t ran = 0;
+    pool.parallel_for(3, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 3u);
+}
+
+TEST(thread_pool, guard_clears_after_exceptional_batch)
+{
+    // An exception escaping a body must not leave the busy flag stuck.
+    thread_pool pool(2);
+    EXPECT_THROW(pool.parallel_for(
+                     4, [&](std::size_t) { throw std::runtime_error("boom"); }),
+                 std::runtime_error);
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(4, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 4u);
 }
 
 TEST(thread_pool, resolve_jobs_auto_is_positive)
@@ -196,6 +248,75 @@ TEST(sweep_runner, jobs_invariant_error_counts)
     }
 }
 
+// ----------------------------------------------------------- progress printer
+
+/// Drives a progress callback and returns everything it wrote to a tmpfile.
+std::string capture_progress(bool tty, std::size_t total)
+{
+    std::FILE* stream = std::tmpfile();
+    EXPECT_NE(stream, nullptr);
+    auto progress = progress_printer(stream, tty);
+    for (std::size_t done = 1; done <= total; ++done) progress(done, total);
+    std::fflush(stream);
+    std::rewind(stream);
+    std::string captured;
+    char buffer[256];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, stream)) > 0) {
+        captured.append(buffer, n);
+    }
+    std::fclose(stream);
+    return captured;
+}
+
+TEST(progress_printer, tty_mode_rewrites_and_terminates_with_newline)
+{
+    const std::string captured = capture_progress(/*tty=*/true, 3);
+    // Carriage-return frames while running...
+    EXPECT_NE(captured.find("\rsweep: 1/3 trials"), std::string::npos);
+    EXPECT_NE(captured.find("\rsweep: 3/3 trials"), std::string::npos);
+    // ...and the completion line is newline-terminated so the shell prompt
+    // (or the next printf) starts on a fresh line.
+    ASSERT_FALSE(captured.empty());
+    EXPECT_EQ(captured.back(), '\n');
+}
+
+TEST(progress_printer, non_tty_mode_prints_plain_decile_lines)
+{
+    const std::string captured = capture_progress(/*tty=*/false, 20);
+    // No '\r' frames anywhere: piped logs stay line-oriented.
+    EXPECT_EQ(captured.find('\r'), std::string::npos);
+    // One line per completed decile, each newline-terminated.
+    EXPECT_NE(captured.find("sweep: 2/20 trials (10%)\n"), std::string::npos);
+    EXPECT_NE(captured.find("sweep: 20/20 trials (100%)\n"), std::string::npos);
+    std::size_t lines = 0;
+    for (const char c : captured) lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 10u);
+    EXPECT_EQ(captured.back(), '\n');
+}
+
+TEST(progress_printer, non_tty_mode_skips_repeat_deciles)
+{
+    // Repeated callbacks within the same decile stay silent.
+    std::FILE* stream = std::tmpfile();
+    ASSERT_NE(stream, nullptr);
+    auto progress = progress_printer(stream, /*tty=*/false);
+    progress(1, 100);
+    progress(5, 100);
+    progress(10, 100);
+    progress(10, 100);
+    std::fflush(stream);
+    std::rewind(stream);
+    std::string captured;
+    char buffer[256];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, stream)) > 0) {
+        captured.append(buffer, n);
+    }
+    std::fclose(stream);
+    EXPECT_EQ(captured, "sweep: 10/100 trials (10%)\n");
+}
+
 // --------------------------------------------- determinism regression (R5ish)
 
 /// A miniature R5-style sweep over real link simulations, rendered through
@@ -299,119 +420,7 @@ TEST(determinism, multitag_reseed_replays_exactly)
 
 // ----------------------------------------------------------------- JSON model
 
-/// Minimal strict JSON syntax checker (objects/arrays/strings/numbers/
-/// booleans/null) — enough to prove the emitted documents parse.
-class json_checker {
-public:
-    explicit json_checker(const std::string& text) : text_(text) {}
-
-    bool valid()
-    {
-        skip_ws();
-        if (!value()) return false;
-        skip_ws();
-        return pos_ == text_.size();
-    }
-
-private:
-    bool value()
-    {
-        if (pos_ >= text_.size()) return false;
-        switch (text_[pos_]) {
-        case '{': return object();
-        case '[': return array();
-        case '"': return string();
-        case 't': return literal("true");
-        case 'f': return literal("false");
-        case 'n': return literal("null");
-        default: return number();
-        }
-    }
-
-    bool object()
-    {
-        ++pos_; // {
-        skip_ws();
-        if (peek() == '}') { ++pos_; return true; }
-        while (true) {
-            skip_ws();
-            if (!string()) return false;
-            skip_ws();
-            if (peek() != ':') return false;
-            ++pos_;
-            skip_ws();
-            if (!value()) return false;
-            skip_ws();
-            if (peek() == ',') { ++pos_; continue; }
-            if (peek() == '}') { ++pos_; return true; }
-            return false;
-        }
-    }
-
-    bool array()
-    {
-        ++pos_; // [
-        skip_ws();
-        if (peek() == ']') { ++pos_; return true; }
-        while (true) {
-            skip_ws();
-            if (!value()) return false;
-            skip_ws();
-            if (peek() == ',') { ++pos_; continue; }
-            if (peek() == ']') { ++pos_; return true; }
-            return false;
-        }
-    }
-
-    bool string()
-    {
-        if (peek() != '"') return false;
-        ++pos_;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            if (text_[pos_] == '\\') {
-                ++pos_;
-                if (pos_ >= text_.size()) return false;
-            }
-            ++pos_;
-        }
-        if (pos_ >= text_.size()) return false;
-        ++pos_; // closing quote
-        return true;
-    }
-
-    bool number()
-    {
-        const std::size_t start = pos_;
-        if (peek() == '-') ++pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-                text_[pos_] == '+' || text_[pos_] == '-')) {
-            ++pos_;
-        }
-        return pos_ > start;
-    }
-
-    bool literal(const char* word)
-    {
-        const std::string w(word);
-        if (text_.compare(pos_, w.size(), w) != 0) return false;
-        pos_ += w.size();
-        return true;
-    }
-
-    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-    void skip_ws()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-            ++pos_;
-        }
-    }
-
-    const std::string& text_;
-    std::size_t pos_ = 0;
-};
+using testutil::json_checker;
 
 TEST(json_model, serialization_is_ordered_and_escaped)
 {
@@ -471,6 +480,80 @@ TEST(result_writer, documents_are_schema_valid)
     EXPECT_NE(document.find("\"git\":"), std::string::npos);
 
     EXPECT_EQ(default_output_path("R99"), "bench/out/BENCH_R99.json");
+}
+
+TEST(result_writer, zero_observation_ratios_serialize_as_null)
+{
+    // A point with no observed bits/frames must not claim BER 0.0 (or emit
+    // bare nan): the ratio metrics are null, the count metrics stay 0, and
+    // the document still parses.
+    result_writer results("R98", "zero observations", {"x"}, 1);
+    auto axis = json_value::object();
+    axis.set("x", json_value::number(0.0));
+    results.add_point(std::move(axis), 1,
+                      result_writer::metrics(core::error_counter{}));
+    auto axis2 = json_value::object();
+    axis2.set("x", json_value::number(1.0));
+    results.add_point(std::move(axis2), 1, result_writer::metrics(core::link_report{}));
+
+    const auto document = results.document(0.1, 1, 10.0);
+    EXPECT_TRUE(json_checker(document).valid()) << document;
+    EXPECT_NE(document.find("\"ber\": null"), std::string::npos) << document;
+    EXPECT_NE(document.find("\"per\": null"), std::string::npos) << document;
+    EXPECT_NE(document.find("\"mean_snr_db\": null"), std::string::npos) << document;
+    EXPECT_NE(document.find("\"bits\": 0"), std::string::npos) << document;
+    EXPECT_EQ(document.find("nan"), std::string::npos) << document;
+    EXPECT_EQ(document.find("inf"), std::string::npos) << document;
+
+    // Populated counters keep numeric ratios.
+    core::error_counter counter;
+    counter.add_bits(100, 1);
+    const auto populated = result_writer::metrics(counter).dump();
+    EXPECT_EQ(populated.find("\"ber\":null"), std::string::npos) << populated;
+    EXPECT_NE(populated.find("\"ber\":0.01"), std::string::npos) << populated;
+}
+
+TEST(result_writer, metrics_snapshot_switches_schema_to_v2)
+{
+    result_writer results("R97", "schema v2", {"x"}, 2);
+    auto axis = json_value::object();
+    axis.set("x", json_value::number(1.0));
+    core::error_counter counter;
+    counter.add_bits(8, 0);
+    results.add_point(std::move(axis), 1, result_writer::metrics(counter));
+
+    // Without a metrics snapshot the document stays on schema /1, with no
+    // sweep-wide "metrics" or "profile" members — byte-compatible with old
+    // consumers. (Per-point "metrics" objects exist in both schemas, so the
+    // registry snapshot is detected by its "counters" section.)
+    const auto v1 = results.document(0.1, 1, 10.0);
+    EXPECT_NE(v1.find("\"schema\": \"mmtag.bench.result/1\""), std::string::npos);
+    EXPECT_EQ(v1.find("\"counters\""), std::string::npos);
+    EXPECT_EQ(v1.find("\"profile\""), std::string::npos);
+
+    auto snapshot = json_value::object();
+    auto counters = json_value::object();
+    counters.set("link/frames", json_value::unsigned_integer(8));
+    snapshot.set("counters", std::move(counters));
+    results.set_metrics(std::move(snapshot));
+    auto profile = json_value::object();
+    profile.set("histograms", json_value::object());
+    results.set_run_profile(std::move(profile));
+
+    const auto v2 = results.document(0.1, 1, 10.0);
+    EXPECT_TRUE(json_checker(v2).valid()) << v2;
+    EXPECT_NE(v2.find("\"schema\": \"mmtag.bench.result/2\""), std::string::npos);
+    EXPECT_NE(v2.find("\"link/frames\": 8"), std::string::npos);
+    EXPECT_NE(v2.find("\"profile\""), std::string::npos);
+    // The sweep-wide snapshot is part of the deterministic half; the
+    // profile (wall-clock) is not.
+    const auto aggregates = results.aggregates_json();
+    EXPECT_NE(aggregates.find("\"schema\": \"mmtag.bench.result/2\""),
+              std::string::npos);
+    EXPECT_NE(aggregates.find("\"link/frames\": 8"), std::string::npos);
+    EXPECT_EQ(aggregates.find("\"profile\""), std::string::npos);
+
+    EXPECT_THROW(results.set_metrics(json_value::array()), std::invalid_argument);
 }
 
 } // namespace
