@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 #include "mmtag/obs/metrics_registry.hpp"
@@ -33,6 +34,19 @@ double recovery_metrics::mean_recover_s() const
 {
     if (recoveries == 0) return 0.0;
     return recover_total_s / static_cast<double>(recoveries);
+}
+
+void recovery_metrics::merge(const recovery_metrics& other)
+{
+    outages += other.outages;
+    recoveries += other.recoveries;
+    reacquisitions += other.reacquisitions;
+    transmissions += other.transmissions;
+    probes += other.probes;
+    detect_total_s += other.detect_total_s;
+    detect_max_s = std::max(detect_max_s, other.detect_max_s);
+    recover_total_s += other.recover_total_s;
+    recover_max_s = std::max(recover_max_s, other.recover_max_s);
 }
 
 link_supervisor::link_supervisor(const supervisor_config& cfg, rate_option nominal_rate)
@@ -109,7 +123,9 @@ void link_supervisor::record(bool delivered, double snr_db, double now_s, bool w
     }
 
     if (fail_streak_ == 0) first_fail_s_ = now_s;
-    ++fail_streak_;
+    // Saturate instead of wrapping: a wrap would reset the streak to zero
+    // and silently re-arm outage detection mid-outage.
+    if (fail_streak_ != std::numeric_limits<std::size_t>::max()) ++fail_streak_;
     if (state_ == supervisor_state::outage) {
         ++probes_since_reacquire_;
     } else if (fail_streak_ >= cfg_.outage_streak) {
@@ -156,6 +172,17 @@ double supervised_report::goodput_retained(double fault_free_goodput_bps) const
 {
     if (fault_free_goodput_bps <= 0.0) return 0.0;
     return goodput_bps / fault_free_goodput_bps;
+}
+
+void supervised_report::merge(const supervised_report& other)
+{
+    recovery.merge(other.recovery);
+    const double delivered_bits =
+        goodput_bps * elapsed_s + other.goodput_bps * other.elapsed_s;
+    frames_offered += other.frames_offered;
+    frames_delivered += other.frames_delivered;
+    elapsed_s += other.elapsed_s;
+    goodput_bps = elapsed_s > 0.0 ? delivered_bits / elapsed_s : 0.0;
 }
 
 supervised_report run_supervised(const supervisor_config& cfg,

@@ -68,6 +68,9 @@ struct recovery_metrics {
 
     [[nodiscard]] double mean_detect_s() const;
     [[nodiscard]] double mean_recover_s() const;
+
+    /// Trial-ordered fold: counters and totals add, maxima take the max.
+    void merge(const recovery_metrics& other);
 };
 
 class link_supervisor {
@@ -149,6 +152,10 @@ struct supervised_report {
     [[nodiscard]] double delivery_ratio() const;
     /// Fraction of a fault-free reference goodput retained.
     [[nodiscard]] double goodput_retained(double fault_free_goodput_bps) const;
+
+    /// Trial-ordered fold: counters add, goodput recombines from the sums of
+    /// delivered bits and elapsed airtime (an elapsed-weighted mean).
+    void merge(const supervised_report& other);
 };
 
 /// Offers `frames` payloads of `payload_bits` each through the supervisor:

@@ -17,6 +17,7 @@
 #include "mmtag/core/supervised_link.hpp"
 #include "mmtag/fault/fault_injector.hpp"
 #include "mmtag/mac/slotted_aloha.hpp"
+#include "mmtag/net/soak_harness.hpp"
 #include "mmtag/obs/metrics_registry.hpp"
 #include "mmtag/obs/trace.hpp"
 #include "mmtag/runtime/result_writer.hpp"
@@ -184,13 +185,7 @@ int run_network(const option_set& options)
     reject_leftovers(options);
     if (tag_count == 0) throw std::invalid_argument("--tags must be >= 1");
 
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<double> range_dist(1.0, max_range);
-    std::uniform_real_distribution<double> angle_dist(-35.0, 35.0);
-    std::vector<core::tag_descriptor> tags;
-    for (std::uint32_t i = 0; i < tag_count; ++i) {
-        tags.push_back({i, range_dist(rng), deg_to_rad(angle_dist(rng))});
-    }
+    const auto tags = core::uniform_population(tag_count, 1.0, max_range, seed);
     const core::network net(cli_scenario(), tags);
     const auto report = net.run(seed, payload);
 
@@ -233,33 +228,6 @@ int run_inventory(const option_set& options)
     std::printf("  incomplete runs  %zu\n", incomplete);
     return incomplete == 0 ? 0 : 2;
 }
-
-namespace {
-
-/// Trial-ordered fold of supervised runs: counters add, rate-like figures
-/// recombine from their sums (goodput weighted by elapsed airtime).
-void merge_supervised(ap::supervised_report& into, const ap::supervised_report& from)
-{
-    into.recovery.outages += from.recovery.outages;
-    into.recovery.recoveries += from.recovery.recoveries;
-    into.recovery.reacquisitions += from.recovery.reacquisitions;
-    into.recovery.transmissions += from.recovery.transmissions;
-    into.recovery.probes += from.recovery.probes;
-    into.recovery.detect_total_s += from.recovery.detect_total_s;
-    into.recovery.detect_max_s = std::max(into.recovery.detect_max_s,
-                                          from.recovery.detect_max_s);
-    into.recovery.recover_total_s += from.recovery.recover_total_s;
-    into.recovery.recover_max_s = std::max(into.recovery.recover_max_s,
-                                           from.recovery.recover_max_s);
-    const double delivered_bits =
-        into.goodput_bps * into.elapsed_s + from.goodput_bps * from.elapsed_s;
-    into.frames_offered += from.frames_offered;
-    into.frames_delivered += from.frames_delivered;
-    into.elapsed_s += from.elapsed_s;
-    into.goodput_bps = into.elapsed_s > 0.0 ? delivered_bits / into.elapsed_s : 0.0;
-}
-
-} // namespace
 
 int run_faults(const option_set& options)
 {
@@ -347,8 +315,8 @@ int run_faults(const option_set& options)
     ap::supervised_report sup = sup_trials.front();
     ap::supervised_report base = base_trials.front();
     for (std::size_t t = 1; t < trials; ++t) {
-        merge_supervised(sup, sup_trials[t]);
-        merge_supervised(base, base_trials[t]);
+        sup.merge(sup_trials[t]);
+        base.merge(base_trials[t]);
     }
 
     std::printf("  %-14s %10s %10s\n", "", "supervised", "plain-arq");
@@ -380,7 +348,80 @@ int run_faults(const option_set& options)
             write_text_file(obs_opts.metrics_path, snapshot);
         }
     }
+    // Exit 3: the supervisor saw outages but never completed a recovery —
+    // the resilience machinery itself failed, which is worse than merely
+    // losing the goodput comparison (exit 2).
+    if (sup.recovery.outages > 0 && sup.recovery.recoveries == 0) return 3;
     return sup.goodput_bps >= base.goodput_bps ? 0 : 2;
+}
+
+int run_soak(const option_set& options)
+{
+    net::soak_config cfg;
+    cfg.tag_count = static_cast<std::size_t>(options.get_uint("tags", 6));
+    cfg.faulted_count = static_cast<std::size_t>(options.get_uint("faulted", 2));
+    cfg.rounds = static_cast<std::size_t>(options.get_uint("rounds", 36));
+    cfg.payload_bytes = static_cast<std::size_t>(options.get_uint("payload", 16));
+    cfg.trials = static_cast<std::size_t>(options.get_uint("trials", 2));
+    cfg.seed = options.get_uint("seed", 1);
+    cfg.fault_seed = options.get_uint("fault-seed", 42);
+    cfg.min_range_m = options.get_double("min-range", cfg.min_range_m);
+    cfg.max_range_m = options.get_double("max-range", cfg.max_range_m);
+    const auto jobs = static_cast<std::size_t>(options.get_uint("jobs", 0));
+    const std::string json_path = options.get_string("json", "");
+    const obs_options obs_opts = parse_obs_options(options);
+    reject_leftovers(options);
+
+    std::printf("soak: %zu tags (%zu faulted), %zu rounds x %zu trials, "
+                "seed %llu, fault seed %llu\n",
+                cfg.tag_count, cfg.faulted_count, cfg.rounds, cfg.trials,
+                static_cast<unsigned long long>(cfg.seed),
+                static_cast<unsigned long long>(cfg.fault_seed));
+
+    obs::metrics_registry metrics;
+    const trace_session trace(obs_opts.trace_path);
+    const auto start = std::chrono::steady_clock::now();
+    runtime::thread_pool pool(jobs);
+    const net::soak_report report =
+        net::run_soak(cfg, pool, obs_opts.metrics ? &metrics : nullptr);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    std::printf("  %-10s %12s %12s\n", "tag", "faulted", "reference");
+    for (std::size_t i = 0; i < report.delivered_per_tag.size(); ++i) {
+        std::printf("  %-10zu %12llu %12llu%s\n", i,
+                    static_cast<unsigned long long>(report.delivered_per_tag[i]),
+                    static_cast<unsigned long long>(report.reference_per_tag[i]),
+                    i < report.faulted_count ? "  (faulted)" : "");
+    }
+    std::printf("  sessions: %zu transitions, %zu readmissions, "
+                "max readmit latency %zu rounds\n",
+                report.transitions, report.readmissions, report.max_readmit_rounds);
+    if (report.healthy_share_min_observed >= 0.0) {
+        std::printf("  healthy-tag delivery share: %.3f (bound %.3f)\n",
+                    report.healthy_share_min_observed, cfg.healthy_share_min);
+    }
+    for (const auto& inv : report.invariants) {
+        std::printf("  invariant %-22s %s%s%s\n", inv.name.c_str(),
+                    inv.passed ? "pass" : "FAIL", inv.passed ? "" : ": ",
+                    inv.detail.c_str());
+    }
+    std::printf("  runtime: %zu tasks in %.2f s wall (%zu jobs)\n", 2 * cfg.trials,
+                wall_s, pool.jobs());
+
+    if (!json_path.empty()) {
+        write_text_file(json_path, report.to_json().dump(2));
+    }
+    if (obs_opts.metrics) {
+        const std::string snapshot =
+            metrics.to_json_string(obs::metric_view::deterministic, 2);
+        if (obs_opts.metrics_path.empty()) {
+            std::printf("metrics:\n%s\n", snapshot.c_str());
+        } else {
+            write_text_file(obs_opts.metrics_path, snapshot);
+        }
+    }
+    return report.all_passed() ? 0 : 3;
 }
 
 namespace {
@@ -517,6 +558,12 @@ const char* usage()
            "             --payload BYTES --distance M --seed S --fault-seed S\n"
            "             --trials N --jobs N (0 = auto)\n"
            "             --metrics[=FILE] --trace FILE\n"
+           "  soak       chaos soak: network supervisor vs multi-tag faults,\n"
+           "             invariant-checked (exit 3 on any failure)\n"
+           "             --tags N --faulted N --rounds N --payload BYTES\n"
+           "             --trials N --seed S --fault-seed S --min-range M\n"
+           "             --max-range M --jobs N (0 = auto)\n"
+           "             --json PATH --metrics[=FILE] --trace FILE\n"
            "  sweep      parallel BER/goodput vs distance Monte-Carlo sweep\n"
            "             --start M --stop M --points N --trials N --frames N\n"
            "             --payload BYTES --scheme MOD --fec MODE --seed S\n"
@@ -536,6 +583,7 @@ int dispatch(int argc, const char* const* argv)
         if (options.command() == "network") return run_network(options);
         if (options.command() == "inventory") return run_inventory(options);
         if (options.command() == "faults") return run_faults(options);
+        if (options.command() == "soak") return run_soak(options);
         if (options.command() == "sweep") return run_sweep(options);
         if (options.command() == "help") {
             std::printf("%s", usage());

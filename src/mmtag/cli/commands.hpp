@@ -25,11 +25,22 @@ int run_inventory(const option_set& options);
 
 /// `faults`: fault-injected link, supervisor on vs off. Runs on the
 /// parallel Monte-Carlo runtime: both arms and every fault-seed trial fan
-/// out across the thread pool with deterministic reduction.
+/// out across the thread pool with deterministic reduction. Returns 0 on
+/// success, 2 when the supervised arm loses the goodput comparison, 3 when
+/// outages occurred but no recovery ever completed.
 /// Options: --fault-rate (events/s), --mean-duration (ms), --frames,
 /// --payload (bytes), --distance (m), --seed, --fault-seed, --trials,
 /// --jobs (0 = auto).
 int run_faults(const option_set& options);
+
+/// `soak`: chaos soak — network supervisor over a multi-tag population under
+/// seeded fault schedules, faulted vs fault-free reference arm per trial on
+/// the parallel runtime, resilience invariants checked on the trace.
+/// Returns 0 when every invariant holds, 3 when any fails.
+/// Options: --tags, --faulted, --rounds, --payload (bytes), --trials,
+/// --seed, --fault-seed, --jobs (0 = auto), --json (path),
+/// --metrics[=FILE], --trace FILE.
+int run_soak(const option_set& options);
 
 /// `sweep`: BER/goodput vs distance Monte-Carlo sweep on the parallel
 /// runtime; prints the per-point table plus a one-line speedup summary.

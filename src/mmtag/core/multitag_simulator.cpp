@@ -46,9 +46,43 @@ void multitag_simulator::reseed(std::uint64_t seed)
     runs_ = 0;
 }
 
+void multitag_simulator::attach_tag_fault_injectors(
+    std::vector<fault::fault_injector*> injectors)
+{
+    if (!injectors.empty() && injectors.size() != channels_.size()) {
+        throw std::invalid_argument(
+            "multitag_simulator: tag injector count must match tag count");
+    }
+    tag_faults_ = std::move(injectors);
+}
+
+namespace {
+
+// Robust-mode modulator sharing everything with the base configuration but
+// the payload (modulation, FEC) pair — preamble, header coding, bank and
+// switch stay identical, so the override only changes payload density.
+tag::backscatter_modulator with_mcs(const tag::backscatter_modulator& base,
+                                    const burst_mcs& mcs)
+{
+    tag::backscatter_modulator::config cfg = base.parameters();
+    cfg.frame.scheme = mcs.scheme;
+    cfg.frame.fec = mcs.fec;
+    return tag::backscatter_modulator(cfg);
+}
+
+} // namespace
+
 double multitag_simulator::burst_duration_s(std::size_t payload_bytes) const
 {
     const auto frame = modulator_.modulate(std::vector<std::uint8_t>(payload_bytes, 0));
+    return frame.duration_s;
+}
+
+double multitag_simulator::burst_duration_s(std::size_t payload_bytes,
+                                            const burst_mcs& mcs) const
+{
+    const auto frame =
+        with_mcs(modulator_, mcs).modulate(std::vector<std::uint8_t>(payload_bytes, 0));
     return frame.duration_s;
 }
 
@@ -74,7 +108,8 @@ std::vector<burst_outcome> multitag_simulator::run(const std::vector<tag_burst>&
     const double training = base_.receiver.canceller.training_fraction +
                             base_.receiver.canceller.training_skip;
     for (const auto& burst : bursts) {
-        frames.push_back(modulator_.modulate(burst.payload));
+        frames.push_back(burst.mcs ? with_mcs(modulator_, *burst.mcs).modulate(burst.payload)
+                                   : modulator_.modulate(burst.payload));
         const auto start = static_cast<std::size_t>(std::round(burst.start_s * fs));
         starts.push_back(start);
         latest_end = std::max(latest_end, start + frames.back().gamma.size());
@@ -113,6 +148,14 @@ std::vector<burst_outcome> multitag_simulator::run(const std::vector<tag_burst>&
             burst_scale =
                 imp.tag_powered ? imp.tag_amplitude * imp.tag_amplitude : 0.0;
         }
+        // Per-tag faults compound with the shared channel's: both paths can
+        // shadow the same burst (a blocked tag during a carrier brownout).
+        if (!tag_faults_.empty() && tag_faults_[bursts[b].tag_index] != nullptr) {
+            const auto imp = tag_faults_[bursts[b].tag_index]->at(
+                clock_s_ + bursts[b].start_s, frames[b].duration_s);
+            burst_scale *=
+                imp.tag_powered ? imp.tag_amplitude * imp.tag_amplitude : 0.0;
+        }
         cvec gamma(capture, cf64{});
         const std::size_t start = starts[b] + lead;
         const auto& wave = frames[b].gamma;
@@ -147,12 +190,18 @@ std::vector<burst_outcome> multitag_simulator::run(const std::vector<tag_burst>&
         }
     }
 
-    // Receive each burst in its own window (slot receiver): from just before
-    // the burst to just after it, with a quiet pre-roll for the canceller.
+    // Receive each burst in its own window (slot receiver). The canceller
+    // trains its background estimate on the leading fraction of whatever it
+    // is given, so every slot window is stitched as quiet head + slot: the
+    // capture's genuinely tag-free lead (static leakage and clutter only)
+    // followed by this burst's region. Using the region immediately before
+    // the burst instead would hand slots after the first a "background"
+    // polluted by the previous burst, costing ~20 dB of residual floor and
+    // silently erasing the weakest tags.
     std::vector<burst_outcome> outcomes(bursts.size());
     for (std::size_t b = 0; b < bursts.size(); ++b) {
         const std::size_t start = starts[b] + lead;
-        const std::size_t pre = std::min<std::size_t>(start, lead);
+        const std::size_t pre = std::min<std::size_t>(start, 4 * sps);
         const std::size_t begin = start - pre;
         const std::size_t window_tail =
             4 * sps + static_cast<std::size_t>(
@@ -160,8 +209,18 @@ std::vector<burst_outcome> multitag_simulator::run(const std::vector<tag_burst>&
                                     static_cast<double>(frames[b].gamma.size())));
         const std::size_t end =
             std::min(capture, start + frames[b].gamma.size() + window_tail);
-        const std::span<const cf64> window{antenna.data() + begin, end - begin};
-        const std::span<const cf64> lo{query.lo.data() + begin, end - begin};
+        cvec window(lead + (end - begin));
+        cvec lo(lead + (end - begin));
+        std::copy(antenna.begin(), antenna.begin() + static_cast<std::ptrdiff_t>(lead),
+                  window.begin());
+        std::copy(query.lo.begin(), query.lo.begin() + static_cast<std::ptrdiff_t>(lead),
+                  lo.begin());
+        std::copy(antenna.begin() + static_cast<std::ptrdiff_t>(begin),
+                  antenna.begin() + static_cast<std::ptrdiff_t>(end),
+                  window.begin() + static_cast<std::ptrdiff_t>(lead));
+        std::copy(query.lo.begin() + static_cast<std::ptrdiff_t>(begin),
+                  query.lo.begin() + static_cast<std::ptrdiff_t>(end),
+                  lo.begin() + static_cast<std::ptrdiff_t>(lead));
 
         ap::ap_receiver receiver(base_.receiver,
                                  base_.seed * 7177 + runs_ * 131 + b);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "mmtag/ap/receiver.hpp"
@@ -24,11 +25,21 @@ class metrics_registry;
 
 namespace mmtag::core {
 
+/// Per-burst MCS override: the network supervisor drops a degraded session
+/// to a robust (modulation, FEC) pair without touching the other tags in
+/// the capture. The frame header self-describes scheme and FEC, so the
+/// receiver decodes an overridden burst with no configuration change.
+struct burst_mcs {
+    phy::modulation scheme = phy::modulation::bpsk;
+    phy::fec_mode fec = phy::fec_mode::conv_half;
+};
+
 /// One tag's transmission in the shared capture window.
 struct tag_burst {
     std::size_t tag_index = 0;            ///< into the constructor's tag list
     std::vector<std::uint8_t> payload;
     double start_s = 0.0;                 ///< burst start within the capture
+    std::optional<burst_mcs> mcs;         ///< robust-mode override; nullopt = base MCS
 };
 
 struct burst_outcome {
@@ -48,6 +59,12 @@ public:
     /// carrier dropout, LO step, interferer) and once per burst (per-tag
     /// faults: blockage, brownout). Not owned; nullptr detaches.
     void attach_fault_injector(fault::fault_injector* injector) { faults_ = injector; }
+
+    /// Attaches one injector per tag, consulted for each tag's own burst on
+    /// top of the shared injector (per-tag faults: blockage, brownout). The
+    /// vector must be empty (detach) or hold tag_count() entries; individual
+    /// entries may be nullptr for healthy tags. Not owned.
+    void attach_tag_fault_injectors(std::vector<fault::fault_injector*> injectors);
 
     /// Attaches an observability registry fed once per capture and per burst
     /// (capture/burst counters, per-burst SNR histogram, scoped timers).
@@ -72,6 +89,11 @@ public:
     /// Airtime of one burst for `payload_bytes` (for slot planning).
     [[nodiscard]] double burst_duration_s(std::size_t payload_bytes) const;
 
+    /// Airtime of one burst under an MCS override (robust-mode slots are
+    /// longer: fewer bits per symbol, lower code rate).
+    [[nodiscard]] double burst_duration_s(std::size_t payload_bytes,
+                                          const burst_mcs& mcs) const;
+
 private:
     void rebuild_seeded_state();
 
@@ -81,6 +103,7 @@ private:
     tag::backscatter_modulator modulator_;
     ap::ap_transmitter transmitter_;
     fault::fault_injector* faults_ = nullptr;
+    std::vector<fault::fault_injector*> tag_faults_;
     obs::metrics_registry* metrics_ = nullptr;
     double clock_s_ = 0.0;
     std::uint64_t runs_ = 0;

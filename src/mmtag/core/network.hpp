@@ -25,6 +25,14 @@ struct tag_descriptor {
     double incidence_rad = 0.0;
 };
 
+/// Deterministic random population: `count` tags with ids 0..count-1, ranges
+/// uniform in [min_range_m, max_range_m] and incidence uniform in +/-35 deg.
+/// Shared by the CLI `network` command, the network soak harness, and R22.
+[[nodiscard]] std::vector<tag_descriptor> uniform_population(std::size_t count,
+                                                             double min_range_m,
+                                                             double max_range_m,
+                                                             std::uint64_t seed);
+
 struct tag_link_state {
     tag_descriptor tag;
     double snr_db = 0.0;

@@ -1,6 +1,7 @@
 #include "mmtag/fault/fault_schedule.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <random>
 #include <stdexcept>
 
@@ -80,6 +81,70 @@ fault_schedule::fault_schedule(const config& cfg, std::uint64_t seed)
         events_.push_back(event);
         t += gap(rng);
     }
+}
+
+fault_schedule::fault_schedule(double horizon_s, std::vector<fault_event> events)
+    : seed_(0), events_(normalize(std::move(events)))
+{
+    if (horizon_s <= 0.0) {
+        throw std::invalid_argument("fault_schedule: horizon must be > 0");
+    }
+    cfg_ = config{};
+    cfg_.horizon_s = horizon_s;
+    cfg_.event_rate_hz = 0.0; // nothing was generated; the list is the truth
+    for (const auto& event : events_) {
+        if (event.start_s >= horizon_s) {
+            throw std::invalid_argument("fault_schedule: event starts beyond horizon");
+        }
+    }
+}
+
+std::vector<fault_event> fault_schedule::normalize(std::vector<fault_event> events)
+{
+    for (const auto& event : events) {
+        if (!std::isfinite(event.start_s) || !std::isfinite(event.duration_s) ||
+            !std::isfinite(event.magnitude)) {
+            throw std::invalid_argument("fault_schedule: non-finite event field");
+        }
+        if (event.start_s < 0.0 || event.duration_s < 0.0) {
+            throw std::invalid_argument("fault_schedule: negative event time");
+        }
+    }
+    // Zero-duration bounded events are no-ops by construction (overlaps()
+    // uses half-open windows); drop them rather than carry dead weight.
+    // Zero-duration lo_steps stay: the step itself is the fault.
+    std::erase_if(events, [](const fault_event& e) {
+        return e.duration_s <= 0.0 && e.kind != fault_kind::lo_step;
+    });
+    std::sort(events.begin(), events.end(), [](const fault_event& a, const fault_event& b) {
+        if (a.start_s != b.start_s) return a.start_s < b.start_s;
+        if (a.kind != b.kind) return a.kind < b.kind;
+        if (a.duration_s != b.duration_s) return a.duration_s < b.duration_s;
+        return a.magnitude < b.magnitude;
+    });
+    // Merge rule for same-kind overlap (and touching intervals): union the
+    // window, keep the deepest magnitude — exactly what the injector's
+    // deepest-event-wins aggregation would report anyway, so merged and
+    // unmerged schedules impair identically.
+    std::vector<fault_event> merged;
+    merged.reserve(events.size());
+    for (const auto& event : events) {
+        fault_event* prior = nullptr;
+        if (event.kind != fault_kind::lo_step) {
+            for (auto it = merged.rbegin(); it != merged.rend(); ++it) {
+                if (it->kind != event.kind) continue;
+                if (it->end_s() >= event.start_s) prior = &*it;
+                break;
+            }
+        }
+        if (prior != nullptr) {
+            prior->duration_s = std::max(prior->end_s(), event.end_s()) - prior->start_s;
+            prior->magnitude = std::max(prior->magnitude, event.magnitude);
+        } else {
+            merged.push_back(event);
+        }
+    }
+    return merged;
 }
 
 std::vector<fault_event> fault_schedule::active(double t0, double t1) const

@@ -65,6 +65,25 @@ public:
 
     fault_schedule(const config& cfg, std::uint64_t seed);
 
+    /// Builds a schedule from an explicit event list (the path the multi-tag
+    /// chaos plans use), after running it through normalize(). `horizon_s`
+    /// bounds the timeline; events starting at or beyond it throw.
+    fault_schedule(double horizon_s, std::vector<fault_event> events);
+
+    /// Deterministic event-list cleanup, applied by the explicit constructor:
+    ///   * non-finite or negative start/duration/magnitude fields throw;
+    ///   * duration-bounded events (everything but lo_step) with zero
+    ///     duration are dropped — a zero-length window can never overlap a
+    ///     frame. lo_step events are kept regardless: the synthesizer stays
+    ///     detuned until re-lock, so their duration is irrelevant;
+    ///   * events sort by (start, kind, duration, magnitude);
+    ///   * overlapping or touching duration-bounded events of the same kind
+    ///     merge into one event spanning their union with the deepest
+    ///     magnitude (matching the injector's deepest-event-wins
+    ///     aggregation). lo_step events never merge — which step is latest
+    ///     decides the offset, so order is semantic.
+    [[nodiscard]] static std::vector<fault_event> normalize(std::vector<fault_event> events);
+
     [[nodiscard]] const config& parameters() const { return cfg_; }
     [[nodiscard]] std::uint64_t seed() const { return seed_; }
     [[nodiscard]] const std::vector<fault_event>& events() const { return events_; }

@@ -27,13 +27,15 @@ double arq_stats::goodput_bps(double payload_bits) const
 stop_and_wait_arq::stop_and_wait_arq(const arq_config& cfg) : cfg_(cfg)
 {
     if (cfg.max_retries == 0) throw std::invalid_argument("arq: max_retries must be >= 1");
-    if (cfg.frame_time_s <= 0.0 || cfg.ack_time_s < 0.0) {
+    if (cfg.frame_time_s <= 0.0 || cfg.ack_time_s < 0.0 ||
+        !std::isfinite(cfg.frame_time_s) || !std::isfinite(cfg.ack_time_s)) {
         throw std::invalid_argument("arq: invalid timing");
     }
-    if (cfg.initial_backoff_s < 0.0 || cfg.max_backoff_s < 0.0) {
-        throw std::invalid_argument("arq: backoff times must be >= 0");
+    if (cfg.initial_backoff_s < 0.0 || cfg.max_backoff_s < 0.0 ||
+        !std::isfinite(cfg.initial_backoff_s) || !std::isfinite(cfg.max_backoff_s)) {
+        throw std::invalid_argument("arq: backoff times must be finite and >= 0");
     }
-    if (cfg.backoff_factor < 1.0) {
+    if (!(cfg.backoff_factor >= 1.0) || !std::isfinite(cfg.backoff_factor)) {
         throw std::invalid_argument("arq: backoff_factor must be >= 1");
     }
     if (!(cfg.ack_loss >= 0.0 && cfg.ack_loss <= 1.0)) {
@@ -44,10 +46,15 @@ stop_and_wait_arq::stop_and_wait_arq(const arq_config& cfg) : cfg_(cfg)
 double stop_and_wait_arq::backoff_delay_s(std::size_t attempt) const
 {
     if (attempt == 0 || cfg_.initial_backoff_s <= 0.0) return 0.0;
+    // pow overflows to inf once the ladder outgrows double range (attempt
+    // counters saturate far later than the cap engages); the explicit
+    // non-finite check keeps the returned wait finite for *any* attempt
+    // index, including SIZE_MAX.
     const double grown =
         cfg_.initial_backoff_s *
         std::pow(cfg_.backoff_factor, static_cast<double>(attempt - 1));
-    return std::min(grown, cfg_.max_backoff_s);
+    if (!std::isfinite(grown) || grown > cfg_.max_backoff_s) return cfg_.max_backoff_s;
+    return grown;
 }
 
 arq_stats stop_and_wait_arq::run(std::size_t frame_count, double frame_success,
@@ -86,15 +93,14 @@ double stop_and_wait_arq::expected_transmissions(double frame_success) const
     if (!(frame_success > 0.0 && frame_success <= 1.0)) {
         throw std::invalid_argument("arq: frame_success must be in (0, 1]");
     }
-    // Truncated-geometric mean: sum_{k=1..R} k p (1-p)^(k-1) + R (1-p)^R.
+    // Truncated-geometric mean, E[min(Geom(p), R)]. The series
+    // sum_{k=1..R} k p q^(k-1) + R q^R telescopes to (1 - q^R)/p — exact for
+    // any retry cap, where the old term-by-term loop never finished once the
+    // cap got "supervision off" huge (SIZE_MAX).
     const double p = frame_success;
+    const double q = 1.0 - p;
     const double r = static_cast<double>(cfg_.max_retries);
-    double expectation = 0.0;
-    for (std::size_t k = 1; k <= cfg_.max_retries; ++k) {
-        expectation += static_cast<double>(k) * p * std::pow(1.0 - p, static_cast<double>(k - 1));
-    }
-    expectation += r * std::pow(1.0 - p, r);
-    return expectation;
+    return (1.0 - std::pow(q, r)) / p;
 }
 
 } // namespace mmtag::mac

@@ -35,6 +35,32 @@ std::vector<tdma_slot> tdma_scheduler::build_cycle(
     return cycle;
 }
 
+std::vector<std::uint32_t> tdma_scheduler::interleave_shares(
+    const std::vector<slot_share>& shares)
+{
+    std::size_t remaining = 0;
+    for (const auto& share : shares) remaining += share.slots;
+    std::vector<std::uint32_t> order;
+    order.reserve(remaining);
+    std::vector<std::size_t> left(shares.size());
+    for (std::size_t i = 0; i < shares.size(); ++i) left[i] = shares[i].slots;
+    while (remaining > 0) {
+        for (std::size_t i = 0; i < shares.size(); ++i) {
+            if (left[i] == 0) continue;
+            order.push_back(shares[i].tag_id);
+            --left[i];
+            --remaining;
+        }
+    }
+    return order;
+}
+
+std::vector<tdma_slot> tdma_scheduler::build_cycle(
+    const std::vector<slot_share>& shares) const
+{
+    return build_cycle(interleave_shares(shares));
+}
+
 tdma_metrics tdma_scheduler::metrics(std::size_t tag_count) const
 {
     if (tag_count == 0) throw std::invalid_argument("tdma: tag_count must be >= 1");

@@ -26,6 +26,14 @@ struct tdma_slot {
     double duration_s = 0.0;
 };
 
+/// Degraded-mode allocation: how many slots of the cycle a tag receives.
+/// Zero drops the tag from the cycle (a quarantined session), counts above
+/// one absorb airtime freed by dropped tags.
+struct slot_share {
+    std::uint32_t tag_id = 0;
+    std::size_t slots = 1;
+};
+
 struct tdma_metrics {
     double cycle_time_s = 0.0;        ///< one full round over all tags
     double per_tag_goodput_bps = 0.0;
@@ -45,6 +53,21 @@ public:
     /// Builds one polling cycle over `tag_ids`.
     [[nodiscard]] std::vector<tdma_slot> build_cycle(
         const std::vector<std::uint32_t>& tag_ids) const;
+
+    /// Weighted cycle for degraded-mode scheduling: each tag appears
+    /// `slots` times, interleaved (see interleave_shares) so a tag holding
+    /// reallocated slots spreads across the cycle instead of monopolizing a
+    /// contiguous stretch — which is what keeps per-round access latency
+    /// bounded for every healthy tag.
+    [[nodiscard]] std::vector<tdma_slot> build_cycle(
+        const std::vector<slot_share>& shares) const;
+
+    /// Round-robin interleaving of weighted shares: repeatedly sweeps the
+    /// share list in order, emitting one slot per tag with allocation left,
+    /// until every share is exhausted. Deterministic in the input order (the
+    /// caller rotates the list for fairness across rounds).
+    [[nodiscard]] static std::vector<std::uint32_t> interleave_shares(
+        const std::vector<slot_share>& shares);
 
     /// Steady-state metrics for `tag_count` tags sharing the channel.
     [[nodiscard]] tdma_metrics metrics(std::size_t tag_count) const;

@@ -1,0 +1,137 @@
+#include "mmtag/net/tag_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mmtag::net {
+
+const char* session_state_name(session_state state)
+{
+    switch (state) {
+    case session_state::active: return "active";
+    case session_state::degraded: return "degraded";
+    case session_state::quarantined: return "quarantined";
+    case session_state::probing: return "probing";
+    }
+    return "?";
+}
+
+bool legal_transition(session_state from, session_state to)
+{
+    switch (from) {
+    case session_state::active: return to == session_state::degraded;
+    case session_state::degraded:
+        return to == session_state::active || to == session_state::quarantined;
+    case session_state::quarantined: return to == session_state::probing;
+    case session_state::probing:
+        return to == session_state::active || to == session_state::quarantined;
+    }
+    return false;
+}
+
+tag_session::tag_session(std::uint32_t tag_id, const session_config& cfg)
+    : tag_id_(tag_id), cfg_(cfg)
+{
+    if (cfg.degraded_streak == 0 || cfg.readmit_streak == 0) {
+        throw std::invalid_argument("tag_session: streaks must be >= 1");
+    }
+    if (cfg.quarantine_streak <= cfg.degraded_streak) {
+        throw std::invalid_argument(
+            "tag_session: quarantine_streak must exceed degraded_streak");
+    }
+    if (cfg.probe_backoff_initial_rounds == 0 ||
+        cfg.probe_backoff_cap_rounds < cfg.probe_backoff_initial_rounds) {
+        throw std::invalid_argument("tag_session: invalid probe backoff bounds");
+    }
+    if (!(cfg.probe_backoff_factor >= 1.0) ||
+        !std::isfinite(cfg.probe_backoff_factor)) {
+        throw std::invalid_argument("tag_session: probe_backoff_factor must be >= 1");
+    }
+}
+
+void tag_session::transition_to(session_state to, std::size_t round)
+{
+    if (!legal_transition(state_, to)) {
+        throw std::logic_error(std::string("tag_session: illegal transition ") +
+                               session_state_name(state_) + " -> " +
+                               session_state_name(to));
+    }
+    transitions_.push_back({state_, to, round});
+    state_ = to;
+}
+
+bool tag_session::probe_due(std::size_t round) const
+{
+    // Mid-streak (PROBING with some successes banked) the next probe is due
+    // immediately; backoff only spaces out probes after a failure.
+    if (state_ == session_state::probing) return true;
+    return state_ == session_state::quarantined && round >= next_probe_round_;
+}
+
+void tag_session::begin_probe(std::size_t round)
+{
+    if (!probe_due(round)) {
+        throw std::logic_error("tag_session: begin_probe before the backoff expired");
+    }
+    if (state_ == session_state::probing) return; // continuing a probe streak
+    transition_to(session_state::probing, round);
+}
+
+void tag_session::record_probe(bool delivered, std::size_t round)
+{
+    if (state_ != session_state::probing) {
+        throw std::logic_error("tag_session: record_probe outside PROBING");
+    }
+    if (delivered) {
+        ++probe_success_streak_;
+        if (probe_success_streak_ >= cfg_.readmit_streak) {
+            transition_to(session_state::active, round);
+            readmit_latencies_.push_back(round - quarantined_since_);
+            fail_streak_ = 0;
+            probe_success_streak_ = 0;
+        }
+        // Below the streak the session keeps probing next round (no state
+        // change, no backoff between consecutive successful probes).
+        return;
+    }
+    probe_success_streak_ = 0;
+    // Capped exponential growth; the ceil keeps fractional factors moving.
+    const double grown =
+        static_cast<double>(backoff_rounds_) * cfg_.probe_backoff_factor;
+    backoff_rounds_ = grown >= static_cast<double>(cfg_.probe_backoff_cap_rounds)
+                          ? cfg_.probe_backoff_cap_rounds
+                          : static_cast<std::size_t>(std::ceil(grown));
+    transition_to(session_state::quarantined, round);
+    next_probe_round_ = round + backoff_rounds_;
+}
+
+void tag_session::record_data(bool delivered, std::size_t round)
+{
+    if (!schedulable()) {
+        throw std::logic_error("tag_session: data frame recorded for an "
+                               "unscheduled session");
+    }
+    if (delivered) {
+        fail_streak_ = 0;
+        if (state_ == session_state::degraded) {
+            transition_to(session_state::active, round);
+        }
+        return;
+    }
+    // Saturate: a wrap would reset the streak and re-admit a dead tag.
+    if (fail_streak_ != std::numeric_limits<std::size_t>::max()) ++fail_streak_;
+    if (state_ == session_state::active && fail_streak_ >= cfg_.degraded_streak) {
+        transition_to(session_state::degraded, round);
+    } else if (state_ == session_state::degraded &&
+               fail_streak_ >= cfg_.quarantine_streak) {
+        transition_to(session_state::quarantined, round);
+        quarantined_since_ = round;
+        probe_success_streak_ = 0;
+        backoff_rounds_ = cfg_.probe_backoff_initial_rounds;
+        next_probe_round_ = round + backoff_rounds_;
+    }
+}
+
+} // namespace mmtag::net

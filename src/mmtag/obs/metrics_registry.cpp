@@ -241,11 +241,13 @@ constexpr double kSnrBoundsDb[] = {-10.0, -5.0, 0.0,  5.0,  10.0, 15.0,
                                    20.0,  25.0, 30.0, 35.0, 40.0};
 constexpr double kSuppressionBoundsDb[] = {-80.0, -70.0, -60.0, -50.0, -40.0,
                                            -30.0, -20.0, -10.0, 0.0};
+constexpr double kRoundsBounds[] = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
 
 } // namespace
 
 std::span<const double> time_bounds_s() { return kTimeBoundsS; }
 std::span<const double> snr_bounds_db() { return kSnrBoundsDb; }
 std::span<const double> suppression_bounds_db() { return kSuppressionBoundsDb; }
+std::span<const double> rounds_bounds() { return kRoundsBounds; }
 
 } // namespace mmtag::obs

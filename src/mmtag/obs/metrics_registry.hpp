@@ -138,5 +138,6 @@ private:
 [[nodiscard]] std::span<const double> time_bounds_s();        ///< 1 us .. 10 s, log-spaced
 [[nodiscard]] std::span<const double> snr_bounds_db();        ///< -10 .. 40 dB
 [[nodiscard]] std::span<const double> suppression_bounds_db();///< -80 .. 0 dB
+[[nodiscard]] std::span<const double> rounds_bounds();        ///< 1 .. 128, power-of-two
 
 } // namespace mmtag::obs

@@ -74,4 +74,19 @@ private:
     bool stopping_ = false;
 };
 
+/// Deterministic fan-out: runs task(i) for every i in [0, count) across the
+/// pool, each result landing in its pre-allocated slot, and returns the
+/// slots in index order. Results depend only on the index (no shared
+/// accumulator, no scheduling sensitivity); callers fold them in order to
+/// keep aggregates --jobs-invariant. The result type must be
+/// default-constructible.
+template <typename Task>
+[[nodiscard]] auto ordered_parallel_results(thread_pool& pool, std::size_t count,
+                                            Task&& task)
+{
+    std::vector<decltype(task(std::size_t{}))> results(count);
+    pool.parallel_for(count, [&](std::size_t i) { results[i] = task(i); });
+    return results;
+}
+
 } // namespace mmtag::runtime

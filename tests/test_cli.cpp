@@ -267,6 +267,48 @@ TEST(commands, faults_accepts_metrics_and_trace)
     fs::remove_all(dir);
 }
 
+TEST(commands, soak_runs_and_reports_via_exit_code)
+{
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path() / "mmtag_cli_soak_test";
+    fs::create_directories(dir);
+    const std::string json_arg = "--json=" + (dir / "soak.json").string();
+    const std::string metrics_arg = "--metrics=" + (dir / "metrics.json").string();
+    const char* argv[] = {"mmtag_sim", "soak",     "--tags",   "4",
+                          "--faulted", "1",        "--rounds", "36",
+                          "--trials",  "1",        "--jobs",   "2",
+                          json_arg.c_str(),        metrics_arg.c_str()};
+    // 0 = every invariant held, 3 = one tripped; both mean the harness ran.
+    const int code = dispatch(14, argv);
+    EXPECT_TRUE(code == 0 || code == 3) << code;
+
+    std::ifstream in(dir / "soak.json");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto text = buffer.str();
+    EXPECT_TRUE(testutil::json_checker(text).valid()) << text;
+    EXPECT_NE(text.find("mmtag.soak.result/1"), std::string::npos);
+    EXPECT_NE(text.find("\"invariants\""), std::string::npos);
+
+    std::ifstream metrics_in(dir / "metrics.json");
+    std::stringstream metrics_buffer;
+    metrics_buffer << metrics_in.rdbuf();
+    const auto metrics_text = metrics_buffer.str();
+    EXPECT_TRUE(testutil::json_checker(metrics_text).valid()) << metrics_text;
+    EXPECT_NE(metrics_text.find("net/rounds"), std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(commands, soak_rejects_bad_arguments_with_exit_1)
+{
+    const char* typo[] = {"mmtag_sim", "soak", "--tgs", "4"};
+    EXPECT_EQ(dispatch(4, typo), 1);
+    const char* zero[] = {"mmtag_sim", "soak", "--rounds", "0"};
+    EXPECT_EQ(dispatch(4, zero), 1);
+    const char* lopsided[] = {"mmtag_sim", "soak", "--tags", "2", "--faulted", "3"};
+    EXPECT_EQ(dispatch(6, lopsided), 1);
+}
+
 TEST(commands, link_plate_at_angle_fails_gracefully)
 {
     // A flat-plate tag rotated 30 degrees loses the link: exit code 2

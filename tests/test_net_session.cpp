@@ -1,0 +1,218 @@
+// Per-tag session state machine: exhaustive legal-transition table, the
+// degrade/quarantine/probe/readmit flow, the capped probe backoff ladder,
+// and the strictness contract (illegal calls throw instead of corrupting
+// the machine).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "mmtag/net/tag_session.hpp"
+
+namespace {
+
+using mmtag::net::legal_transition;
+using mmtag::net::session_config;
+using mmtag::net::session_state;
+using mmtag::net::tag_session;
+
+session_config tight_config()
+{
+    session_config cfg;
+    cfg.degraded_streak = 2;
+    cfg.quarantine_streak = 5;
+    cfg.readmit_streak = 2;
+    cfg.probe_backoff_initial_rounds = 1;
+    cfg.probe_backoff_factor = 2.0;
+    cfg.probe_backoff_cap_rounds = 4;
+    return cfg;
+}
+
+/// Drives a fresh ACTIVE session to QUARANTINED; returns the round after.
+std::size_t quarantine(tag_session& session, std::size_t round = 0)
+{
+    while (session.state() != session_state::quarantined) {
+        session.record_data(false, round++);
+    }
+    return round;
+}
+
+TEST(tag_session, legal_transition_table_is_exhaustive)
+{
+    const session_state states[] = {session_state::active, session_state::degraded,
+                                    session_state::quarantined,
+                                    session_state::probing};
+    // The six legal edges of the machine; everything else (including
+    // self-edges) is illegal.
+    const bool expected[4][4] = {
+        /* from active      */ {false, true, false, false},
+        /* from degraded    */ {true, false, true, false},
+        /* from quarantined */ {false, false, false, true},
+        /* from probing     */ {true, false, true, false},
+    };
+    for (std::size_t from = 0; from < 4; ++from) {
+        for (std::size_t to = 0; to < 4; ++to) {
+            EXPECT_EQ(legal_transition(states[from], states[to]), expected[from][to])
+                << mmtag::net::session_state_name(states[from]) << " -> "
+                << mmtag::net::session_state_name(states[to]);
+        }
+    }
+}
+
+TEST(tag_session, degrades_after_streak_and_heals_on_delivery)
+{
+    tag_session session(7, tight_config());
+    EXPECT_EQ(session.state(), session_state::active);
+    EXPECT_TRUE(session.schedulable());
+
+    session.record_data(false, 0);
+    EXPECT_EQ(session.state(), session_state::active) << "one failure is noise";
+    session.record_data(false, 1);
+    EXPECT_EQ(session.state(), session_state::degraded);
+    EXPECT_TRUE(session.schedulable()) << "degraded sessions keep their slots";
+
+    session.record_data(true, 2);
+    EXPECT_EQ(session.state(), session_state::active);
+    EXPECT_EQ(session.fail_streak(), 0u);
+
+    ASSERT_EQ(session.transitions().size(), 2u);
+    EXPECT_EQ(session.transitions()[0].to, session_state::degraded);
+    EXPECT_EQ(session.transitions()[1].to, session_state::active);
+}
+
+TEST(tag_session, quarantines_after_streak_through_degraded)
+{
+    tag_session session(0, tight_config());
+    const std::size_t round = quarantine(session);
+    EXPECT_EQ(round, 5u) << "quarantine_streak consecutive failures";
+    EXPECT_FALSE(session.schedulable());
+
+    // The log must show ACTIVE -> DEGRADED -> QUARANTINED, never a direct
+    // ACTIVE -> QUARANTINED edge.
+    ASSERT_EQ(session.transitions().size(), 2u);
+    EXPECT_EQ(session.transitions()[0].from, session_state::active);
+    EXPECT_EQ(session.transitions()[0].to, session_state::degraded);
+    EXPECT_EQ(session.transitions()[1].from, session_state::degraded);
+    EXPECT_EQ(session.transitions()[1].to, session_state::quarantined);
+}
+
+TEST(tag_session, probe_backoff_ladder_grows_to_the_cap)
+{
+    tag_session session(0, tight_config());
+    std::size_t round = quarantine(session); // quarantined at round - 1
+    // Ladder with initial 1, factor 2, cap 4: gaps of 1, 2, 4, 4, ...
+    const std::size_t gaps[] = {1, 2, 4, 4, 4};
+    std::size_t due = round - 1;
+    for (const std::size_t gap : gaps) {
+        due += gap;
+        EXPECT_FALSE(session.probe_due(due - 1)) << "before the backoff expires";
+        EXPECT_TRUE(session.probe_due(due));
+        session.begin_probe(due);
+        EXPECT_EQ(session.state(), session_state::probing);
+        session.record_probe(false, due);
+        EXPECT_EQ(session.state(), session_state::quarantined);
+    }
+}
+
+TEST(tag_session, readmits_after_consecutive_probe_successes)
+{
+    tag_session session(3, tight_config());
+    const std::size_t round = quarantine(session);
+
+    const std::size_t probe_round = round; // backoff 1 after quarantine at round-1
+    ASSERT_TRUE(session.probe_due(probe_round));
+    session.begin_probe(probe_round);
+    session.record_probe(true, probe_round);
+    EXPECT_EQ(session.state(), session_state::probing)
+        << "one success below readmit_streak keeps probing";
+    EXPECT_TRUE(session.probe_due(probe_round + 1))
+        << "mid-streak probes run back-to-back, no backoff";
+
+    session.begin_probe(probe_round + 1); // no-op transition-wise
+    session.record_probe(true, probe_round + 1);
+    EXPECT_EQ(session.state(), session_state::active);
+    EXPECT_TRUE(session.schedulable());
+
+    ASSERT_EQ(session.readmit_latencies_rounds().size(), 1u);
+    // Quarantined at round 4, readmitted at round 6.
+    EXPECT_EQ(session.readmit_latencies_rounds().front(), 2u);
+}
+
+TEST(tag_session, failed_probe_resets_the_readmit_streak)
+{
+    tag_session session(0, tight_config());
+    const std::size_t round = quarantine(session);
+
+    session.begin_probe(round);
+    session.record_probe(true, round);
+    session.begin_probe(round + 1);
+    session.record_probe(false, round + 1); // streak broken
+    EXPECT_EQ(session.state(), session_state::quarantined);
+
+    // The next success must start a fresh streak: one success is not enough.
+    const std::size_t next = round + 1 + 2; // backoff grew 1 -> 2
+    ASSERT_TRUE(session.probe_due(next));
+    session.begin_probe(next);
+    session.record_probe(true, next);
+    EXPECT_EQ(session.state(), session_state::probing);
+}
+
+TEST(tag_session, illegal_calls_throw_without_corrupting_state)
+{
+    tag_session session(0, tight_config());
+
+    EXPECT_THROW(session.record_probe(true, 0), std::logic_error)
+        << "probe outcome outside PROBING";
+    EXPECT_THROW(session.begin_probe(0), std::logic_error)
+        << "probe of an ACTIVE session";
+
+    quarantine(session);
+    EXPECT_THROW(session.record_data(true, 9), std::logic_error)
+        << "data frame for an unscheduled session";
+    EXPECT_EQ(session.state(), session_state::quarantined)
+        << "failed calls leave the machine where it was";
+    EXPECT_THROW(session.begin_probe(0), std::logic_error)
+        << "probe before the backoff expired";
+}
+
+TEST(tag_session, config_validation_rejects_degenerate_machines)
+{
+    const auto with = [](auto mutate) {
+        session_config cfg = tight_config();
+        mutate(cfg);
+        return cfg;
+    };
+    EXPECT_THROW(tag_session(0, with([](session_config& c) { c.degraded_streak = 0; })),
+                 std::invalid_argument);
+    EXPECT_THROW(tag_session(0, with([](session_config& c) { c.readmit_streak = 0; })),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        tag_session(0, with([](session_config& c) { c.quarantine_streak = 2; })),
+        std::invalid_argument)
+        << "quarantine_streak must exceed degraded_streak";
+    EXPECT_THROW(
+        tag_session(0,
+                    with([](session_config& c) { c.probe_backoff_initial_rounds = 0; })),
+        std::invalid_argument);
+    EXPECT_THROW(
+        tag_session(0, with([](session_config& c) { c.probe_backoff_cap_rounds = 0; })),
+        std::invalid_argument)
+        << "cap below the initial backoff";
+    EXPECT_THROW(
+        tag_session(0, with([](session_config& c) { c.probe_backoff_factor = 0.5; })),
+        std::invalid_argument);
+    EXPECT_THROW(
+        tag_session(0, with([](session_config& c) {
+                        c.probe_backoff_factor = std::numeric_limits<double>::infinity();
+                    })),
+        std::invalid_argument);
+}
+
+TEST(tag_session, max_readmit_rounds_documents_the_probe_bound)
+{
+    const session_config cfg = tight_config();
+    EXPECT_EQ(cfg.max_readmit_rounds(),
+              cfg.probe_backoff_cap_rounds + cfg.readmit_streak);
+}
+
+} // namespace
