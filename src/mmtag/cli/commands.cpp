@@ -20,7 +20,9 @@
 #include "mmtag/net/soak_harness.hpp"
 #include "mmtag/obs/metrics_registry.hpp"
 #include "mmtag/obs/trace.hpp"
+#include "mmtag/runtime/json_io.hpp"
 #include "mmtag/runtime/result_writer.hpp"
+#include "mmtag/scale/des_engine.hpp"
 #include "mmtag/runtime/sweep_runner.hpp"
 #include "mmtag/runtime/thread_pool.hpp"
 
@@ -91,15 +93,7 @@ private:
 
 void write_text_file(const std::string& path, const std::string& text)
 {
-    std::error_code ec;
-    const auto parent = std::filesystem::path(path).parent_path();
-    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) {
-        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-        return;
-    }
-    out << text << '\n';
+    if (!runtime::write_text_file(path, text)) return;
     std::printf("wrote %s\n", path.c_str());
 }
 
@@ -424,6 +418,77 @@ int run_soak(const option_set& options)
     return report.all_passed() ? 0 : 3;
 }
 
+int run_scale(const option_set& options)
+{
+    scale::scale_config cfg;
+    cfg.topology.tag_count = static_cast<std::size_t>(options.get_uint("tags", 1000));
+    cfg.topology.ap_count = static_cast<std::size_t>(options.get_uint("aps", 4));
+    cfg.topology.layout = scale::parse_layout(options.get_string("layout", "grid"));
+    cfg.topology.floor_m = options.get_double("floor", cfg.topology.floor_m);
+    cfg.frames = static_cast<std::size_t>(options.get_uint("frames", 50));
+    cfg.payload_bytes = static_cast<std::size_t>(options.get_uint("payload", 16));
+    cfg.faulted = static_cast<std::size_t>(
+        options.get_uint("faulted", cfg.topology.tag_count / 10));
+    cfg.seed = options.get_uint("seed", 1);
+    cfg.fault_seed = options.get_uint("fault-seed", 42);
+    cfg.trials = static_cast<std::size_t>(options.get_uint("trials", 1));
+    cfg.scenario = cli_scenario();
+    const auto jobs = static_cast<std::size_t>(options.get_uint("jobs", 0));
+    const std::string json_path = options.get_string("json", "");
+    const obs_options obs_opts = parse_obs_options(options);
+    reject_leftovers(options);
+
+    std::printf("scale: %zu tags, %zu APs (%s layout), %zu rounds x %zu trials, "
+                "seed %llu, fault seed %llu (%zu tags faulted)\n",
+                cfg.topology.tag_count, cfg.topology.ap_count,
+                scale::layout_name(cfg.topology.layout), cfg.frames, cfg.trials,
+                static_cast<unsigned long long>(cfg.seed),
+                static_cast<unsigned long long>(cfg.fault_seed), cfg.faulted);
+
+    obs::metrics_registry metrics;
+    const trace_session trace(obs_opts.trace_path);
+    const auto start = std::chrono::steady_clock::now();
+    const scale::scale_result result =
+        scale::run_scale(cfg, jobs, obs_opts.metrics ? &metrics : nullptr);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    std::printf("  phy table: %s (%s)\n", result.phy_table_path.c_str(),
+                result.cache_hit ? "cache hit" : "regenerated");
+    std::printf("  %llu events, %llu data slots, %llu probe slots over %.3f s "
+                "simulated\n",
+                static_cast<unsigned long long>(result.events),
+                static_cast<unsigned long long>(result.data_slots),
+                static_cast<unsigned long long>(result.probe_slots),
+                result.sim_time_s);
+    std::printf("  delivered %llu frames (%.0f bps aggregate goodput, fairness "
+                "%.3f)\n",
+                static_cast<unsigned long long>(result.delivered),
+                result.goodput_bps(), result.fairness_index());
+    std::printf("  sessions: %llu transitions, %llu readmissions, readmit "
+                "latency mean %.1f / max %llu rounds\n",
+                static_cast<unsigned long long>(result.transitions),
+                static_cast<unsigned long long>(result.readmissions),
+                result.readmit_latency_mean_rounds,
+                static_cast<unsigned long long>(result.readmit_latency_max_rounds));
+    std::printf("  runtime: %zu trials in %.2f s wall (%zu jobs)\n", cfg.trials,
+                wall_s, result.jobs);
+
+    if (!json_path.empty()) {
+        write_text_file(json_path, result.to_json().dump(2));
+    }
+    if (obs_opts.metrics) {
+        const std::string snapshot =
+            metrics.to_json_string(obs::metric_view::deterministic, 2);
+        if (obs_opts.metrics_path.empty()) {
+            std::printf("metrics:\n%s\n", snapshot.c_str());
+        } else {
+            write_text_file(obs_opts.metrics_path, snapshot);
+        }
+    }
+    return 0;
+}
+
 namespace {
 
 /// Sweep aggregate pairing the link report with the trial's observability
@@ -564,6 +629,11 @@ const char* usage()
            "             --trials N --seed S --fault-seed S --min-range M\n"
            "             --max-range M --jobs N (0 = auto)\n"
            "             --json PATH --metrics[=FILE] --trace FILE\n"
+           "  scale      PHY-abstracted discrete-event network simulation\n"
+           "             --tags N --aps N --layout grid|poisson|clustered\n"
+           "             --floor M --frames N --payload BYTES --faulted N --seed S\n"
+           "             --fault-seed S --trials N --jobs N (0 = auto)\n"
+           "             --json PATH --metrics[=FILE] --trace FILE\n"
            "  sweep      parallel BER/goodput vs distance Monte-Carlo sweep\n"
            "             --start M --stop M --points N --trials N --frames N\n"
            "             --payload BYTES --scheme MOD --fec MODE --seed S\n"
@@ -584,6 +654,7 @@ int dispatch(int argc, const char* const* argv)
         if (options.command() == "inventory") return run_inventory(options);
         if (options.command() == "faults") return run_faults(options);
         if (options.command() == "soak") return run_soak(options);
+        if (options.command() == "scale") return run_scale(options);
         if (options.command() == "sweep") return run_sweep(options);
         if (options.command() == "help") {
             std::printf("%s", usage());

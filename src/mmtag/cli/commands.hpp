@@ -42,6 +42,15 @@ int run_faults(const option_set& options);
 /// --metrics[=FILE], --trace FILE.
 int run_soak(const option_set& options);
 
+/// `scale`: PHY-abstracted discrete-event simulation of a multi-AP,
+/// thousand-tag network. Loads (or calibrates and caches) the per-MCS
+/// PER-vs-SINR table, builds a seeded deployment, and runs the
+/// deterministic DES with per-AP supervisors and multi-tag faults.
+/// Options: --tags, --aps, --layout (grid|poisson|clustered), --frames,
+/// --payload (bytes), --faulted, --seed, --fault-seed, --trials,
+/// --jobs (0 = auto), --json (path), --metrics[=FILE], --trace FILE.
+int run_scale(const option_set& options);
+
 /// `sweep`: BER/goodput vs distance Monte-Carlo sweep on the parallel
 /// runtime; prints the per-point table plus a one-line speedup summary.
 /// Options: --start, --stop, --points, --trials, --frames, --payload,

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "mmtag/mac/tdma.hpp"
@@ -72,12 +73,15 @@ public:
 
 private:
     [[nodiscard]] tag_session& session_mut(std::uint32_t tag_id);
+    [[nodiscard]] std::size_t session_index(std::uint32_t tag_id) const;
     [[nodiscard]] std::size_t current_round() const;
     void note_transitions(const tag_session& session, std::size_t before) const;
 
     supervisor_config cfg_;
     std::vector<std::uint32_t> tag_ids_;
     std::vector<tag_session> sessions_;
+    /// Sorted (tag id, sessions_ index) for O(log n) session lookup.
+    std::vector<std::pair<std::uint32_t, std::size_t>> index_;
     std::size_t round_ = 0;
     std::size_t rotation_ = 0;
 };

@@ -14,6 +14,7 @@
 #include "mmtag/net/network_supervisor.hpp"
 #include "mmtag/obs/metrics_registry.hpp"
 #include "mmtag/phy/bitio.hpp"
+#include "mmtag/runtime/json_io.hpp"
 #include "mmtag/runtime/thread_pool.hpp"
 #include "mmtag/runtime/trial_rng.hpp"
 
@@ -409,8 +410,7 @@ bool soak_report::all_passed() const
 runtime::json_value soak_report::to_json() const
 {
     using runtime::json_value;
-    auto doc = json_value::object();
-    doc.set("schema", json_value::string("mmtag.soak.result/1"));
+    auto doc = runtime::schema_object("mmtag.soak.result/1");
     doc.set("tags", json_value::unsigned_integer(tag_count));
     doc.set("faulted", json_value::unsigned_integer(faulted_count));
     doc.set("rounds", json_value::unsigned_integer(rounds));

@@ -3,11 +3,10 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <stdexcept>
 
 #include "mmtag/core/metrics.hpp"
+#include "mmtag/runtime/json_io.hpp"
 
 namespace mmtag::runtime {
 
@@ -83,6 +82,60 @@ json_value& json_value::push(json_value value)
     if (kind_ != kind::array) throw std::logic_error("json_value::push on non-array");
     items_.push_back(std::move(value));
     return *this;
+}
+
+std::size_t json_value::size() const
+{
+    if (kind_ == kind::array) return items_.size();
+    if (kind_ == kind::object) return members_.size();
+    return 0;
+}
+
+const json_value* json_value::find(const std::string& key) const
+{
+    if (kind_ != kind::object) return nullptr;
+    for (const auto& member : members_) {
+        if (member.first == key) return &member.second;
+    }
+    return nullptr;
+}
+
+const json_value& json_value::at(std::size_t index) const
+{
+    if (kind_ != kind::array) throw std::logic_error("json_value::at on non-array");
+    if (index >= items_.size()) throw std::out_of_range("json_value::at out of range");
+    return items_[index];
+}
+
+double json_value::as_number() const
+{
+    switch (kind_) {
+    case kind::number: return number_;
+    case kind::integer: return static_cast<double>(integer_);
+    case kind::unsigned_integer: return static_cast<double>(unsigned_);
+    default: throw std::logic_error("json_value::as_number on non-number");
+    }
+}
+
+std::uint64_t json_value::as_uint() const
+{
+    if (kind_ == kind::unsigned_integer) return unsigned_;
+    if (kind_ == kind::integer && integer_ >= 0) {
+        return static_cast<std::uint64_t>(integer_);
+    }
+    throw std::logic_error("json_value::as_uint on non-unsigned value");
+}
+
+bool json_value::as_boolean() const
+{
+    if (kind_ != kind::boolean) throw std::logic_error("json_value::as_boolean on non-boolean");
+    return bool_;
+}
+
+const std::string& json_value::as_string() const
+{
+    if (kind_ != kind::string) throw std::logic_error("json_value::as_string on non-string");
+    return string_;
 }
 
 namespace {
@@ -220,20 +273,6 @@ void result_writer::add_point(json_value axis, std::size_t trials, json_value me
     points_.push_back(std::move(point));
 }
 
-namespace {
-
-// A ratio metric is meaningless without observations: "BER over zero bits"
-// is not 0.0 (that would claim an error-free link), it is absent. Emit JSON
-// null so downstream tooling can tell "measured clean" from "never measured"
-// — and so non-finite doubles can never leak into the file as bare nan/inf.
-json_value ratio_or_null(double value, std::uint64_t observations)
-{
-    if (observations == 0 || !std::isfinite(value)) return json_value::null();
-    return json_value::number(value);
-}
-
-} // namespace
-
 json_value result_writer::metrics(const core::error_counter& errors)
 {
     auto m = json_value::object();
@@ -336,15 +375,7 @@ std::string result_writer::write(const std::string& path, double wall_s, std::si
                                  double trials_per_s) const
 {
     const std::string target = path.empty() ? default_output_path(id_) : path;
-    std::error_code ec;
-    const auto parent = std::filesystem::path(target).parent_path();
-    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
-    std::ofstream out(target, std::ios::trunc);
-    if (!out) {
-        std::fprintf(stderr, "warning: cannot write %s\n", target.c_str());
-        return {};
-    }
-    out << document(wall_s, jobs, trials_per_s) << '\n';
+    if (!write_text_file(target, document(wall_s, jobs, trials_per_s))) return {};
     return target;
 }
 

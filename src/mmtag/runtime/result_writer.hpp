@@ -66,6 +66,29 @@ public:
 
     [[nodiscard]] bool is_object() const { return kind_ == kind::object; }
     [[nodiscard]] bool is_array() const { return kind_ == kind::array; }
+    [[nodiscard]] bool is_null() const { return kind_ == kind::null; }
+    [[nodiscard]] bool is_string() const { return kind_ == kind::string; }
+    [[nodiscard]] bool is_boolean() const { return kind_ == kind::boolean; }
+    /// Any numeric kind (double, signed, or unsigned integer).
+    [[nodiscard]] bool is_number() const
+    {
+        return kind_ == kind::number || kind_ == kind::integer ||
+               kind_ == kind::unsigned_integer;
+    }
+
+    // Read accessors for parsed documents (runtime::parse_json) — the
+    // loading half of the disk-cache round trip. Typed getters throw
+    // std::logic_error on kind mismatch rather than coercing silently.
+    /// Array item count / object member count; 0 for scalar kinds.
+    [[nodiscard]] std::size_t size() const;
+    /// Object member lookup; nullptr when absent or not an object.
+    [[nodiscard]] const json_value* find(const std::string& key) const;
+    /// Array element; throws std::out_of_range / std::logic_error.
+    [[nodiscard]] const json_value& at(std::size_t index) const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] std::uint64_t as_uint() const;
+    [[nodiscard]] bool as_boolean() const;
+    [[nodiscard]] const std::string& as_string() const;
 
     /// Serializes; indent > 0 pretty-prints with that many spaces per level.
     [[nodiscard]] std::string dump(int indent = 0) const;
